@@ -1,0 +1,79 @@
+package hyperion
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/apps/asp"
+	"repro/internal/apps/barnes"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/pi"
+	"repro/internal/apps/tsp"
+	"repro/internal/harness"
+)
+
+// Benchmark-facing re-exports, so downstream users can drive the paper's
+// evaluation through the public API.
+type (
+	// App is one of the paper's benchmark programs.
+	App = apps.App
+	// Check is a benchmark's self-validation outcome.
+	Check = apps.Check
+	// RunConfig selects the platform for one benchmark run.
+	RunConfig = harness.RunConfig
+	// Result is the outcome of one benchmark run.
+	Result = harness.Result
+	// Figure is one regenerated paper figure.
+	Figure = harness.Figure
+)
+
+// AppNames lists the five benchmarks in the paper's figure order.
+func AppNames() []string { return []string{"pi", "jacobi", "barnes", "tsp", "asp"} }
+
+// NewApp builds a benchmark by name. paperScale selects the exact §4.1
+// problem sizes; otherwise proportionally scaled-down defaults are used.
+func NewApp(name string, paperScale bool) (App, error) {
+	switch name {
+	case "pi":
+		if paperScale {
+			return pi.Paper(), nil
+		}
+		return pi.Default(), nil
+	case "jacobi":
+		if paperScale {
+			return jacobi.Paper(), nil
+		}
+		return jacobi.Default(), nil
+	case "barnes":
+		if paperScale {
+			return barnes.Paper(), nil
+		}
+		return barnes.Default(), nil
+	case "tsp":
+		if paperScale {
+			return tsp.Paper(), nil
+		}
+		return tsp.Default(), nil
+	case "asp":
+		if paperScale {
+			return asp.Paper(), nil
+		}
+		return asp.Default(), nil
+	}
+	return nil, fmt.Errorf("hyperion: unknown app %q (have %v)", name, AppNames())
+}
+
+// RunBenchmark executes one benchmark under one configuration.
+func RunBenchmark(app App, cfg RunConfig) (Result, error) { return harness.Run(app, cfg) }
+
+// BuildFigureByID regenerates one of the paper's Figures 1-5.
+func BuildFigureByID(id int, paperScale bool) (Figure, error) {
+	spec, err := harness.SpecByID(id)
+	if err != nil {
+		return Figure{}, err
+	}
+	return harness.BuildSpec(spec, paperScale)
+}
+
+// BuildAllFigures regenerates all five figures.
+func BuildAllFigures(paperScale bool) ([]Figure, error) { return harness.BuildAll(paperScale) }

@@ -1,0 +1,166 @@
+// Command hyperion-bench runs benchmark sweeps beyond the paper's
+// figures: full app x cluster x protocol x nodes grids (CSV), and the
+// ablation studies motivated by §3.3's tradeoff discussion (check-cost,
+// fault-cost, page-size, threads-per-node and network sweeps).
+//
+// Usage:
+//
+//	hyperion-bench -mode grid
+//	hyperion-bench -mode ablate-check -app asp -nodes 8
+//	hyperion-bench -mode ablate-fault -app jacobi -cluster sci -nodes 4
+//	hyperion-bench -mode pagesize -app jacobi -nodes 8
+//	hyperion-bench -mode tpn -app jacobi -nodes 4
+//	hyperion-bench -mode network -app barnes -nodes 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/vtime"
+
+	hyperion "repro"
+)
+
+func main() {
+	mode := flag.String("mode", "grid", "grid, protocols, ablate-check, ablate-fault, pagesize, tpn, network, cachecap")
+	appName := flag.String("app", "jacobi", "benchmark for ablation modes: "+strings.Join(hyperion.AppNames(), ", "))
+	clusterName := flag.String("cluster", "myrinet", "platform for ablation modes: myrinet, sci, tcp")
+	nodes := flag.Int("nodes", 4, "node count for ablation modes")
+	paperScale := flag.Bool("paperscale", false, "use the paper's full problem sizes")
+	flag.Parse()
+
+	cl, err := clusterByName(*clusterName)
+	fatalIf(err)
+	makeApp := func() apps.App {
+		app, err := hyperion.NewApp(*appName, *paperScale)
+		fatalIf(err)
+		return app
+	}
+
+	switch *mode {
+	case "grid":
+		runGrid(*paperScale)
+	case "protocols":
+		runProtocols(*nodes, *paperScale)
+	case "cachecap":
+		runCacheCap(makeApp, cl, *nodes)
+	case "ablate-check":
+		pts, err := harness.AblateCheckCycles(makeApp, cl, *nodes, []float64{1, 2, 4, 8, 16, 32})
+		fatalIf(err)
+		fmt.Print(harness.FormatAblation(pts))
+	case "ablate-fault":
+		pts, err := harness.AblateFaultCost(makeApp, cl, *nodes, []vtime.Duration{
+			vtime.Micro(3), vtime.Micro(6), vtime.Micro(12), vtime.Micro(22), vtime.Micro(50), vtime.Micro(100),
+		})
+		fatalIf(err)
+		fmt.Print(harness.FormatAblation(pts))
+	case "pagesize":
+		pts, err := harness.AblatePageSize(makeApp, cl, *nodes, []int{1024, 2048, 4096, 8192, 16384})
+		fatalIf(err)
+		fmt.Print(harness.FormatAblation(pts))
+	case "tpn":
+		pts, err := harness.ThreadsPerNodeSweep(makeApp, cl, *nodes, []int{1, 2, 3, 4})
+		fatalIf(err)
+		fmt.Print(harness.FormatAblation(pts))
+	case "network":
+		pts, err := harness.NetworkSweep(makeApp, *nodes)
+		fatalIf(err)
+		fmt.Print(harness.FormatAblation(pts))
+	default:
+		fatalIf(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// runProtocols compares all registered protocols (including the java_up
+// extension) across the five benchmarks at a fixed node count.
+func runProtocols(nodes int, paperScale bool) {
+	fmt.Printf("%-8s", "app")
+	for _, proto := range hyperion.Protocols() {
+		fmt.Printf(" %14s", proto)
+	}
+	fmt.Println()
+	for _, name := range hyperion.AppNames() {
+		fmt.Printf("%-8s", name)
+		for _, proto := range hyperion.Protocols() {
+			app, err := hyperion.NewApp(name, paperScale)
+			fatalIf(err)
+			res, err := harness.Run(app, harness.RunConfig{Cluster: model.Myrinet200(), Nodes: nodes, Protocol: proto})
+			fatalIf(err)
+			if !res.Check.Valid {
+				fatalIf(fmt.Errorf("%s/%s invalid: %s", name, proto, res.Check.Summary))
+			}
+			fmt.Printf(" %13.6fs", res.Seconds())
+		}
+		fmt.Println()
+	}
+}
+
+// runCacheCap sweeps the per-node cache capacity (pages), showing the
+// cost of memory pressure under both protocols.
+func runCacheCap(makeApp func() apps.App, cl model.Cluster, nodes int) {
+	fmt.Printf("%-14s %12s %12s %12s\n", "capacity_pages", "java_ic (s)", "java_pf (s)", "improvement")
+	for _, capacity := range []int{0, 64, 16, 8, 4} {
+		times := map[string]float64{}
+		for _, proto := range harness.Protocols {
+			costs := model.DefaultDSMCosts()
+			costs.CacheCapacityPages = capacity
+			res, err := harness.Run(makeApp(), harness.RunConfig{Cluster: cl, Nodes: nodes, Protocol: proto, Costs: &costs})
+			fatalIf(err)
+			if !res.Check.Valid {
+				fatalIf(fmt.Errorf("cachecap %d/%s invalid: %s", capacity, proto, res.Check.Summary))
+			}
+			times[proto] = res.Seconds()
+		}
+		label := fmt.Sprintf("%d", capacity)
+		if capacity == 0 {
+			label = "unlimited"
+		}
+		impr := (times["java_ic"] - times["java_pf"]) / times["java_ic"] * 100
+		fmt.Printf("%-14s %12.6f %12.6f %11.1f%%\n", label, times["java_ic"], times["java_pf"], impr)
+	}
+}
+
+func runGrid(paperScale bool) {
+	fmt.Println("app,cluster,nodes,protocol,seconds,valid,messages,bytes,checks,faults,mprotects,fetches")
+	for _, name := range hyperion.AppNames() {
+		for _, cl := range model.Clusters() {
+			for n := 1; n <= cl.MaxNodes; n++ {
+				for _, proto := range harness.Protocols {
+					app, err := hyperion.NewApp(name, paperScale)
+					fatalIf(err)
+					res, err := harness.Run(app, harness.RunConfig{Cluster: cl, Nodes: n, Protocol: proto})
+					fatalIf(err)
+					fmt.Printf("%s,%s,%d,%s,%.9f,%v,%d,%d,%d,%d,%d,%d\n",
+						res.App, res.Cluster, res.Nodes, res.Protocol, res.Seconds(), res.Check.Valid,
+						res.Messages, res.Bytes, res.Stats.LocalityChecks, res.Stats.PageFaults,
+						res.Stats.MprotectCalls, res.Stats.PageFetches)
+				}
+			}
+		}
+	}
+}
+
+func clusterByName(name string) (model.Cluster, error) {
+	switch strings.ToLower(name) {
+	case "myrinet", "myrinet200", "bip":
+		return model.Myrinet200(), nil
+	case "sci", "sci450", "sisci":
+		return model.SCI450(), nil
+	case "tcp", "ethernet":
+		return model.CommodityTCP(), nil
+	}
+	return model.Cluster{}, fmt.Errorf("unknown cluster %q", name)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-bench:", err)
+		os.Exit(1)
+	}
+}

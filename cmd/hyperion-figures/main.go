@@ -1,0 +1,60 @@
+// Command hyperion-figures regenerates the paper's Figures 1-5 and the
+// §4.3 improvement analysis.
+//
+// Usage:
+//
+//	hyperion-figures [-fig N] [-paperscale] [-csv] [-report] [-width W] [-height H]
+//
+// Without -fig it regenerates all five figures. -report additionally
+// checks the §4.3 claims against the regenerated data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	figID := flag.Int("fig", 0, "figure to regenerate (1-5); 0 = all")
+	paper := flag.Bool("paperscale", false, "use the paper's full problem sizes (much slower)")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII charts")
+	report := flag.Bool("report", false, "check the §4.3 claims against the regenerated figures")
+	width := flag.Int("width", 72, "chart width")
+	height := flag.Int("height", 20, "chart height")
+	flag.Parse()
+
+	var figs []harness.Figure
+	if *figID != 0 {
+		spec, err := harness.SpecByID(*figID)
+		fatalIf(err)
+		f, err := harness.BuildSpec(spec, *paper)
+		fatalIf(err)
+		figs = []harness.Figure{f}
+	} else {
+		var err error
+		figs, err = harness.BuildAll(*paper)
+		fatalIf(err)
+	}
+
+	for _, f := range figs {
+		if *csv {
+			fmt.Printf("# Figure %d. %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f.Render(*width, *height))
+		}
+	}
+	fmt.Println(harness.ImprovementTable(figs))
+	if *report {
+		fmt.Println(harness.ReportClaims(harness.CheckClaims(figs)))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-figures:", err)
+		os.Exit(1)
+	}
+}

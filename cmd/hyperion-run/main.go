@@ -1,0 +1,85 @@
+// Command hyperion-run executes one of the paper's benchmark programs on
+// one simulated cluster configuration and reports the virtual execution
+// time, the validation outcome and the protocol event counters.
+//
+// Usage:
+//
+//	hyperion-run -app jacobi -cluster myrinet -nodes 8 -protocol java_pf
+//	hyperion-run -app asp -cluster sci -nodes 6 -protocol java_ic -paperscale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/trace"
+
+	hyperion "repro"
+)
+
+func main() {
+	appName := flag.String("app", "jacobi", "benchmark: "+strings.Join(hyperion.AppNames(), ", "))
+	clusterName := flag.String("cluster", "myrinet", "platform: myrinet (200MHz/BIP), sci (450MHz/SISCI), tcp (450MHz/FastEthernet)")
+	nodes := flag.Int("nodes", 4, "number of cluster nodes")
+	protocol := flag.String("protocol", "java_pf", "consistency protocol: "+strings.Join(hyperion.Protocols(), ", "))
+	threadsPerNode := flag.Int("threads-per-node", 1, "application threads per node (paper uses 1; >1 is its future-work experiment)")
+	paperScale := flag.Bool("paperscale", false, "use the paper's full §4.1 problem sizes (much slower)")
+	traceN := flag.Int("trace", 0, "record protocol events and dump the first N (0 = off)")
+	flag.Parse()
+
+	cl, err := clusterByName(*clusterName)
+	fatalIf(err)
+	app, err := hyperion.NewApp(*appName, *paperScale)
+	fatalIf(err)
+
+	cfg := harness.RunConfig{
+		Cluster:        cl,
+		Nodes:          *nodes,
+		Protocol:       *protocol,
+		ThreadsPerNode: *threadsPerNode,
+	}
+	var tracer *trace.Buffer
+	if *traceN > 0 {
+		tracer = trace.NewBuffer(1 << 20)
+		cfg.Tracer = tracer
+	}
+	res, err := hyperion.RunBenchmark(app, cfg)
+	fatalIf(err)
+
+	fmt.Printf("app:        %s\n", res.App)
+	fmt.Printf("platform:   %s, %d node(s), %d thread(s)\n", res.Cluster, res.Nodes, res.Workers)
+	fmt.Printf("protocol:   %s\n", res.Protocol)
+	fmt.Printf("exec time:  %.6f s (virtual)\n", res.Seconds())
+	fmt.Printf("validation: %s (valid=%v)\n", res.Check.Summary, res.Check.Valid)
+	fmt.Printf("network:    %d messages, %d bytes\n", res.Messages, res.Bytes)
+	fmt.Printf("events:     %s\n", res.Stats)
+	if tracer != nil {
+		fmt.Printf("\ntrace summary:\n%s\nfirst %d events:\n%s", tracer.Summary(), *traceN, tracer.Dump(*traceN))
+	}
+	if !res.Check.Valid {
+		os.Exit(1)
+	}
+}
+
+func clusterByName(name string) (model.Cluster, error) {
+	switch strings.ToLower(name) {
+	case "myrinet", "myrinet200", "bip":
+		return model.Myrinet200(), nil
+	case "sci", "sci450", "sisci":
+		return model.SCI450(), nil
+	case "tcp", "ethernet":
+		return model.CommodityTCP(), nil
+	}
+	return model.Cluster{}, fmt.Errorf("unknown cluster %q (myrinet, sci, tcp)", name)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-run:", err)
+		os.Exit(1)
+	}
+}

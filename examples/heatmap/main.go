@@ -1,0 +1,133 @@
+// Heatmap: a small steady-state heat solver (the paper's Jacobi workload
+// shape) written directly against the public API. It distributes the
+// plate's rows across the cluster, iterates with near-neighbor exchange
+// through the DSM, renders the result as an ASCII heat map, and compares
+// the two access-detection protocols.
+//
+//	go run ./examples/heatmap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hyperion "repro"
+)
+
+const (
+	n     = 64 // plate dimension
+	steps = 60
+	nodes = 4
+)
+
+func main() {
+	var grid []float64
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		sys, err := hyperion.New(hyperion.Options{
+			Cluster:  hyperion.SCI450(),
+			Nodes:    nodes,
+			Protocol: proto,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, end := solve(sys)
+		grid = g
+		fmt.Printf("%-8s simulated time %v, %d page fetches\n", proto, end, sys.Stats().PageFetches)
+	}
+
+	fmt.Println("\nsteady-state temperature (hot west edge, cold east edge):")
+	render(grid)
+}
+
+// solve runs the relaxation and returns the final grid plus the virtual
+// execution time.
+func solve(sys *hyperion.System) ([]float64, hyperion.Time) {
+	out := make([]float64, n*n)
+	end := sys.Main(func(main *hyperion.Thread) {
+		// Row blocks homed round-robin, two buffers.
+		rowsPer := n / nodes
+		alloc := func() []hyperion.F64Array {
+			blocks := make([]hyperion.F64Array, nodes)
+			for w := 0; w < nodes; w++ {
+				blocks[w] = sys.NewF64ArrayAligned(main, w, rowsPer*n)
+			}
+			return blocks
+		}
+		a, bgrid := alloc(), alloc()
+		get := func(t *hyperion.Thread, m []hyperion.F64Array, i, j int) float64 {
+			return m[i/rowsPer].Get(t, (i%rowsPer)*n+j)
+		}
+		set := func(t *hyperion.Thread, m []hyperion.F64Array, i, j int, v float64) {
+			m[i/rowsPer].Set(t, (i%rowsPer)*n+j, v)
+		}
+
+		bar := sys.NewBarrier(0, nodes)
+		ws := make([]*hyperion.Thread, nodes)
+		for w := 0; w < nodes; w++ {
+			w := w
+			ws[w] = sys.Spawn(main, func(t *hyperion.Thread) {
+				lo, hi := w*rowsPer, (w+1)*rowsPer
+				for i := lo; i < hi; i++ {
+					for j := 0; j < n; j++ {
+						v := 0.0
+						if j == 0 {
+							v = 100 // hot west edge
+						}
+						set(t, a, i, j, v)
+						set(t, bgrid, i, j, v)
+					}
+				}
+				bar.Await(t)
+				src, dst := a, bgrid
+				for s := 0; s < steps; s++ {
+					for i := lo; i < hi; i++ {
+						if i == 0 || i == n-1 {
+							continue
+						}
+						for j := 1; j < n-1; j++ {
+							set(t, dst, i, j, 0.25*(get(t, src, i-1, j)+get(t, src, i+1, j)+
+								get(t, src, i, j-1)+get(t, src, i, j+1)))
+						}
+						t.Compute(24*float64(n-2), n-2)
+					}
+					bar.Await(t)
+					src, dst = dst, src
+				}
+			})
+		}
+		for _, w := range ws {
+			sys.Join(main, w)
+		}
+		final := a
+		if steps%2 == 1 {
+			final = bgrid
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				out[i*n+j] = get(main, final, i, j)
+			}
+		}
+	})
+	return out, end
+}
+
+// render prints the grid as ASCII shades.
+func render(g []float64) {
+	shades := []byte(" .:-=+*#%@")
+	for i := 0; i < n; i += 2 { // halve vertically for terminal aspect
+		line := make([]byte, n)
+		for j := 0; j < n; j++ {
+			v := g[i*n+j] / 100
+			idx := int(v * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			line[j] = shades[idx]
+		}
+		fmt.Println(string(line))
+	}
+}

@@ -1,0 +1,52 @@
+// TSP solver: uses the cluster to solve Traveling Salesperson instances
+// with the paper's branch-and-bound benchmark, sweeping node counts to
+// show parallel speedup and the protocol effect on a search-heavy,
+// central-queue workload.
+//
+//	go run ./examples/tspsolver [-cities 13] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	hyperion "repro"
+	"repro/internal/apps/tsp"
+	"repro/internal/harness"
+)
+
+func main() {
+	cities := flag.Int("cities", 14, "number of cities (>=15 has no exact reference check)")
+	seed := flag.Int64("seed", 7, "distance matrix seed")
+	flag.Parse()
+
+	fmt.Printf("solving a %d-city TSP instance (seed %d) on the 200MHz/Myrinet cluster\n\n", *cities, *seed)
+	fmt.Printf("%-6s %-12s %-12s %-10s %s\n", "nodes", "java_ic", "java_pf", "impr", "result")
+	var base float64
+	for _, nodes := range []int{1, 2, 4, 8, 12} {
+		times := map[string]float64{}
+		var summary string
+		for _, proto := range []string{"java_ic", "java_pf"} {
+			res, err := hyperion.RunBenchmark(tsp.New(*cities, *seed), harness.RunConfig{
+				Cluster:  hyperion.Myrinet200(),
+				Nodes:    nodes,
+				Protocol: proto,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Check.Valid {
+				log.Fatalf("validation failed: %s", res.Check.Summary)
+			}
+			times[proto] = res.Seconds()
+			summary = res.Check.Summary
+		}
+		impr := (times["java_ic"] - times["java_pf"]) / times["java_ic"] * 100
+		if nodes == 1 {
+			base = times["java_pf"]
+		}
+		fmt.Printf("%-6d %10.4fs %10.4fs %8.1f%%  %s (speedup %.1fx)\n",
+			nodes, times["java_ic"], times["java_pf"], impr, summary, base/times["java_pf"])
+	}
+}

@@ -1,0 +1,34 @@
+package apps
+
+import "testing"
+
+func TestBlockRangeTiles(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {7, 7}, {1024, 12}, {5, 8}} {
+		prevHi := 0
+		for w := 0; w < tc.p; w++ {
+			lo, hi := BlockRange(tc.n, tc.p, w)
+			if lo != prevHi {
+				t.Fatalf("n=%d p=%d w=%d: lo=%d, want %d", tc.n, tc.p, w, lo, prevHi)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d p=%d w=%d: hi<lo", tc.n, tc.p, w)
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.n {
+			t.Fatalf("n=%d p=%d: blocks cover %d", tc.n, tc.p, prevHi)
+		}
+	}
+}
+
+func TestOwnerOfInverse(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {1024, 12}, {17, 5}, {100, 1}} {
+		for i := 0; i < tc.n; i++ {
+			w := OwnerOf(tc.n, tc.p, i)
+			lo, hi := BlockRange(tc.n, tc.p, w)
+			if i < lo || i >= hi {
+				t.Fatalf("n=%d p=%d: OwnerOf(%d)=%d but block is [%d,%d)", tc.n, tc.p, i, w, lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package asp
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jmm"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/threads"
+)
+
+func TestGraphDeterministicAndSane(t *testing.T) {
+	p := New(40, 5)
+	g1, g2 := p.graph(), p.graph()
+	edges := 0
+	for i := 0; i < 40; i++ {
+		if g1[i][i] != 0 {
+			t.Fatal("nonzero self distance")
+		}
+		for j := 0; j < 40; j++ {
+			if g1[i][j] != g2[i][j] {
+				t.Fatal("graph not deterministic")
+			}
+			if i != j && g1[i][j] != Unconnected {
+				edges++
+				if g1[i][j] < 1 || g1[i][j] > 99 {
+					t.Fatalf("edge weight %d", g1[i][j])
+				}
+			}
+		}
+	}
+	// ~25% density.
+	if edges < 200 || edges > 600 {
+		t.Fatalf("edges = %d, want ~390", edges)
+	}
+}
+
+func TestNoOverflowInAdds(t *testing.T) {
+	// Unconnected + max weight must not overflow int32.
+	if Unconnected+Unconnected < 0 {
+		t.Fatal("Unconnected chosen too large: adds overflow")
+	}
+}
+
+func run(t *testing.T, app *ASP, nodes int, proto string) (float64, stats.Snapshot) {
+	t.Helper()
+	cnt := &stats.Counters{}
+	cl, err := cluster.New(model.SCI450(), nodes, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProtocol(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(cl, model.DefaultDSMCosts(), p)
+	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
+	check := app.Run(rt, jmm.NewHeap(eng), nodes)
+	if !check.Valid {
+		t.Fatalf("invalid: %s", check.Summary)
+	}
+	return rt.LastEnd().Seconds(), cnt.Snapshot()
+}
+
+func TestMatchesFloydAtSeveralSizes(t *testing.T) {
+	for _, n := range []int{16, 33, 64} {
+		run(t, New(n, int64(n)), 3, "java_pf")
+	}
+}
+
+func TestPivotRowTrafficPerIteration(t *testing.T) {
+	// Every iteration each non-owner worker fetches the pivot row: the
+	// fetch count must scale like N * (workers-1) / rows-per-page, not
+	// like N^2.
+	_, s := run(t, New(64, 1), 4, "java_pf")
+	// 64 iterations, 3 remote workers, 64 ints = 256 bytes -> row page
+	// plus block prefetch: allow generous headroom but far below N^2.
+	if s.PageFetches > 1200 {
+		t.Fatalf("page fetches = %d, want O(N * workers)", s.PageFetches)
+	}
+	if s.PageFetches < 64 {
+		t.Fatalf("page fetches = %d, suspiciously few", s.PageFetches)
+	}
+}
+
+func TestLargestImprovementAmongApps(t *testing.T) {
+	// §4.3: ASP shows the largest java_pf advantage on the Myrinet
+	// cluster. Here we just require a substantial gap at modest scale.
+	app := New(96, 1)
+	cnt := &stats.Counters{}
+	cl, _ := cluster.New(model.Myrinet200(), 4, cnt)
+	p, _ := core.NewProtocol("java_ic")
+	eng := core.NewEngine(cl, model.DefaultDSMCosts(), p)
+	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
+	if chk := app.Run(rt, jmm.NewHeap(eng), 4); !chk.Valid {
+		t.Fatal(chk.Summary)
+	}
+	ic := rt.LastEnd().Seconds()
+
+	cnt2 := &stats.Counters{}
+	cl2, _ := cluster.New(model.Myrinet200(), 4, cnt2)
+	p2, _ := core.NewProtocol("java_pf")
+	eng2 := core.NewEngine(cl2, model.DefaultDSMCosts(), p2)
+	rt2 := threads.NewRuntime(eng2, threads.RoundRobin{}, threads.DefaultCosts())
+	if chk := app.Run(rt2, jmm.NewHeap(eng2), 4); !chk.Valid {
+		t.Fatal(chk.Summary)
+	}
+	pf := rt2.LastEnd().Seconds()
+
+	if impr := (ic - pf) / ic; impr < 0.40 {
+		t.Fatalf("ASP improvement = %.1f%%, want > 40%% (paper: 64%%)", impr*100)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if Paper().N != 2000 {
+		t.Error("paper: 2000-node graph")
+	}
+	if Default().N >= Paper().N {
+		t.Error("default should be scaled down")
+	}
+	if New(10, 1).Name() != "asp" {
+		t.Error("Name")
+	}
+}

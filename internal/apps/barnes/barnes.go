@@ -1,0 +1,343 @@
+// Package barnes implements the paper's Barnes benchmark: a gravitational
+// N-body simulation adapted from the SPLASH-2 suite (16K bodies, 6 time
+// steps in the paper). Body state is distributed across the nodes in
+// per-node blocks; every step each thread reads the positions and masses
+// of all bodies through the DSM to build its force-evaluation tree, then
+// computes forces for the bodies assigned to it and writes their updated
+// state back. Body-to-thread assignment is rebalanced every step from the
+// previous step's per-body interaction counts, so as bodies move the
+// writes become increasingly remote — the irregular communication pattern
+// that makes the program's communication costs grow with the cluster size
+// (§4.3), eroding java_pf's advantage from 46% to 28% on the Myrinet
+// cluster.
+//
+// Substitution note (see DESIGN.md): like SPLASH-2, the force tree is a
+// shared structure built cooperatively — each worker contributes a
+// contiguous range of cells, homed on its node — and walked by everyone
+// during force evaluation, which is where the irregular remote traffic
+// comes from. Unlike SPLASH-2, each worker derives the (deterministic)
+// full tree content in private scratch before writing its share, instead
+// of synchronizing insertions cell-by-cell; the shared-memory traffic the
+// protocols see (the per-cell writes of the build and the mostly-remote
+// reads of the walks) is preserved while keeping the simulation
+// deterministic.
+package barnes
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/jmm"
+	"repro/internal/threads"
+)
+
+// Cost constants per force-evaluation interaction (one body-cell or
+// body-body term: ~3 subs, 3 mults, rsqrt approximation) and per tree
+// insertion step.
+const (
+	interactCycles = 55
+	interactMem    = 1 // tree walks chase pointers
+	insertCycles   = 25
+	theta          = 0.7 // opening angle
+	dt             = 0.025
+	softening      = 0.05
+)
+
+// Fields per body in the shared state: x, y, z, vx, vy, vz, mass, work
+// (work holds the previous step's interaction count, driving the load
+// balancer).
+const bodyStride = 8
+
+// Barnes is the benchmark instance.
+type Barnes struct {
+	Bodies int
+	Steps  int
+	Seed   int64
+}
+
+// New returns an instance with the given body count and time steps.
+func New(bodies, steps int, seed int64) *Barnes {
+	return &Barnes{Bodies: bodies, Steps: steps, Seed: seed}
+}
+
+// Paper returns the paper-scale instance (16K bodies, 6 steps).
+func Paper() *Barnes { return New(16384, 6, 1) }
+
+// Default returns a scaled-down instance suitable for fast sweeps.
+func Default() *Barnes { return New(1024, 3, 1) }
+
+// Name implements apps.App.
+func (b *Barnes) Name() string { return "barnes" }
+
+// initBodies draws a deterministic Plummer-like cloud with a slight spin.
+func (b *Barnes) initBodies() []body {
+	rng := rand.New(rand.NewSource(b.Seed))
+	bs := make([]body, b.Bodies)
+	for i := range bs {
+		// Rejection-sample a point in the unit ball, push mass to the
+		// center.
+		var x, y, z float64
+		for {
+			x, y, z = rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1
+			if x*x+y*y+z*z <= 1 {
+				break
+			}
+		}
+		r := math.Pow(x*x+y*y+z*z+1e-9, 0.35)
+		bs[i] = body{
+			x: x * r, y: y * r, z: z * r,
+			vx: -y * 0.3, vy: x * 0.3, vz: 0, // mild rotation
+			m: 1.0 / float64(b.Bodies),
+		}
+	}
+	// Remove the net drift so total momentum starts at zero; gravity
+	// conserves it, which the run validates.
+	var mvx, mvy, mvz, mm float64
+	for _, bb := range bs {
+		mvx += bb.m * bb.vx
+		mvy += bb.m * bb.vy
+		mvz += bb.m * bb.vz
+		mm += bb.m
+	}
+	for i := range bs {
+		bs[i].vx -= mvx / mm
+		bs[i].vy -= mvy / mm
+		bs[i].vz -= mvz / mm
+	}
+	return bs
+}
+
+type body struct {
+	x, y, z    float64
+	vx, vy, vz float64
+	m          float64
+}
+
+// Run implements apps.App.
+func (b *Barnes) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
+	n := b.Bodies
+	init := b.initBodies()
+
+	var px, py, pz float64 // final total momentum
+	var finalPos []body
+	rt.Main(func(main *threads.Thread) {
+		clusterSize := h.Engine().Cluster().Size()
+		// Per-worker body blocks (page-aligned, homed round-robin).
+		blocks := make([]jmm.F64Array, workers)
+		blockLo := make([]int, workers)
+		for w := 0; w < workers; w++ {
+			lo, hi := apps.BlockRange(n, workers, w)
+			blockLo[w] = lo
+			blocks[w] = h.NewF64ArrayAligned(main, w%clusterSize, (hi-lo)*bodyStride)
+		}
+		field := func(i, f int) (jmm.F64Array, int) {
+			w := apps.OwnerOf(n, workers, i)
+			return blocks[w], (i-blockLo[w])*bodyStride + f
+		}
+
+		// Shared tree cell arrays: one contiguous chunk per worker, homed
+		// on the worker's node (SPLASH-2's per-processor cell pools).
+		capCells := treeCapacity(n)
+		perChunk := (capCells + workers - 1) / workers
+		treeF := make([]jmm.F64Array, workers)
+		treeK := make([]jmm.I32Array, workers)
+		for w := 0; w < workers; w++ {
+			treeF[w] = h.NewF64ArrayAligned(main, w%clusterSize, perChunk*cellF)
+			treeK[w] = h.NewI32ArrayAligned(main, w%clusterSize, perChunk*cellI)
+		}
+
+		bar := h.NewBarrier(0, workers)
+		ws := make([]*threads.Thread, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			ws[w] = rt.Spawn(main, func(t *threads.Thread) {
+				lo, hi := apps.BlockRange(n, workers, w)
+				// Initialize owned bodies (home-local writes).
+				for i := lo; i < hi; i++ {
+					bb := init[i]
+					arr, base := field(i, 0)
+					vals := [bodyStride]float64{bb.x, bb.y, bb.z, bb.vx, bb.vy, bb.vz, bb.m, 1}
+					for f, v := range vals {
+						arr.Set(t, base+f, v)
+					}
+					t.Compute(40, 0)
+				}
+				bar.Await(t)
+
+				scratch := localStore{
+					f: make([]float64, capCells*cellF),
+					k: make([]int32, capCells*cellI),
+				}
+				shared := chunkedStore{t: t, fChunks: treeF, kChunks: treeK, chunkCells: perChunk}
+
+				local := make([]body, n)
+				work := make([]float64, n)
+				for step := 0; step < b.Steps; step++ {
+					// Phase 1: read every body's position, mass and
+					// work counter through the DSM.
+					for i := 0; i < n; i++ {
+						arr, base := field(i, 0)
+						local[i].x = arr.Get(t, base+0)
+						local[i].y = arr.Get(t, base+1)
+						local[i].z = arr.Get(t, base+2)
+						local[i].m = arr.Get(t, base+6)
+						work[i] = arr.Get(t, base+7)
+						t.Compute(10, 0)
+					}
+
+					// All reads of the step-s state must complete
+					// before anyone writes step s+1 (SPLASH-2 Barnes
+					// has the same barrier between force computation
+					// and position update).
+					bar.Await(t)
+
+					// Phase 2: rebalance by equalizing last step's
+					// interaction counts (every worker computes the
+					// same assignment from the same shared data).
+					myLo, myHi := costPartition(work, workers, w)
+
+					// Phase 3: cooperative tree build. The full tree
+					// content is derived deterministically in private
+					// scratch; this worker's share of the build cost
+					// is charged, and its contiguous range of cells is
+					// written into the shared (node-homed) cell
+					// arrays.
+					tree := buildTree(scratch, local)
+					t.Compute(insertCycles*float64(tree.insertSteps)/float64(workers),
+						tree.insertSteps/(8*workers))
+					cLo, cHi := cellRange(capCells, workers, w)
+					if cHi > tree.cells {
+						cHi = tree.cells
+					}
+					if cLo > cHi {
+						cLo = cHi
+					}
+					copyCells(shared, scratch, cLo, cHi)
+					bar.Await(t) // the shared tree is complete
+
+					// Phase 4: force evaluation walks the shared tree
+					// (mostly remote cells).
+					walker := &octree{bodies: local, st: shared, cells: tree.cells, cap: capCells}
+					for i := myLo; i < myHi; i++ {
+						// Velocities are needed only for owned-range
+						// updates; read them now (remote if the
+						// assignment drifted from the home blocks).
+						arr, base := field(i, 0)
+						vx := arr.Get(t, base+3)
+						vy := arr.Get(t, base+4)
+						vz := arr.Get(t, base+5)
+
+						fx, fy, fz, count := walker.force(i)
+						t.Compute(interactCycles*float64(count), interactMem*count)
+						vx += fx / local[i].m * dt
+						vy += fy / local[i].m * dt
+						vz += fz / local[i].m * dt
+						arr.Set(t, base+0, local[i].x+vx*dt)
+						arr.Set(t, base+1, local[i].y+vy*dt)
+						arr.Set(t, base+2, local[i].z+vz*dt)
+						arr.Set(t, base+3, vx)
+						arr.Set(t, base+4, vy)
+						arr.Set(t, base+5, vz)
+						arr.Set(t, base+7, float64(count))
+					}
+					bar.Await(t)
+				}
+			})
+		}
+		for _, w := range ws {
+			rt.Join(main, w)
+		}
+
+		finalPos = make([]body, n)
+		for i := 0; i < n; i++ {
+			arr, base := field(i, 0)
+			finalPos[i] = body{
+				x: arr.Get(main, base+0), y: arr.Get(main, base+1), z: arr.Get(main, base+2),
+				vx: arr.Get(main, base+3), vy: arr.Get(main, base+4), vz: arr.Get(main, base+5),
+				m: arr.Get(main, base+6),
+			}
+			px += finalPos[i].m * finalPos[i].vx
+			py += finalPos[i].m * finalPos[i].vy
+			pz += finalPos[i].m * finalPos[i].vz
+		}
+	})
+
+	// Validation 1: the same simulation run sequentially (same tree
+	// algorithm) must produce identical positions.
+	ref := b.reference(init)
+	maxDiff := 0.0
+	for i := range ref {
+		for _, d := range []float64{finalPos[i].x - ref[i].x, finalPos[i].y - ref[i].y, finalPos[i].z - ref[i].z} {
+			if a := math.Abs(d); a > maxDiff {
+				maxDiff = a
+			}
+		}
+	}
+	// Validation 2: momentum starts at zero and must stay near zero.
+	// Barnes-Hut forces are not exactly pairwise-symmetric (the theta
+	// approximation), so a small residual is physical; anything large
+	// means corrupted body state.
+	momDrift := math.Sqrt(px*px + py*py + pz*pz)
+	return apps.Check{
+		Summary: fmt.Sprintf("maxposdiff=%.3g |p|=%.3g", maxDiff, momDrift),
+		Valid:   maxDiff < 1e-9 && momDrift < 0.01,
+	}
+}
+
+// costPartition splits bodies into contiguous chunks of roughly equal
+// accumulated work. Every worker computes boundaries with the same rule
+// from the same shared data, so the chunks tile the body range exactly:
+// boundary(w) is the first index whose prefix sum reaches total*w/workers.
+func costPartition(work []float64, workers, w int) (lo, hi int) {
+	total := 0.0
+	for _, c := range work {
+		total += c
+	}
+	boundary := func(target float64) int {
+		acc := 0.0
+		for i := range work {
+			if acc >= target {
+				return i
+			}
+			acc += work[i]
+		}
+		return len(work)
+	}
+	lo = boundary(total * float64(w) / float64(workers))
+	if w == workers-1 {
+		hi = len(work)
+	} else {
+		hi = boundary(total * float64(w+1) / float64(workers))
+	}
+	return lo, hi
+}
+
+// reference runs the same algorithm sequentially in plain Go (no DSM),
+// reusing the tree code with a nil thread (no cost accounting).
+func (b *Barnes) reference(init []body) []body {
+	n := b.Bodies
+	cur := append([]body(nil), init...)
+	st := localStore{
+		f: make([]float64, treeCapacity(n)*cellF),
+		k: make([]int32, treeCapacity(n)*cellI),
+	}
+	for step := 0; step < b.Steps; step++ {
+		tree := buildTree(st, cur)
+		next := make([]body, n)
+		for i := range cur {
+			fx, fy, fz, _ := tree.force(i)
+			bb := cur[i]
+			bb.vx += fx / bb.m * dt
+			bb.vy += fy / bb.m * dt
+			bb.vz += fz / bb.m * dt
+			bb.x += bb.vx * dt
+			bb.y += bb.vy * dt
+			bb.z += bb.vz * dt
+			next[i] = bb
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,254 @@
+package barnes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func scratchFor(n int) localStore {
+	return localStore{
+		f: make([]float64, treeCapacity(n)*cellF),
+		k: make([]int32, treeCapacity(n)*cellI),
+	}
+}
+
+func TestInitBodiesDeterministicZeroMomentum(t *testing.T) {
+	b := New(256, 1, 9)
+	b1, b2 := b.initBodies(), b.initBodies()
+	var px, py, pz float64
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("initBodies not deterministic")
+		}
+		px += b1[i].m * b1[i].vx
+		py += b1[i].m * b1[i].vy
+		pz += b1[i].m * b1[i].vz
+	}
+	if p := math.Sqrt(px*px + py*py + pz*pz); p > 1e-12 {
+		t.Fatalf("initial momentum %g, want ~0", p)
+	}
+}
+
+func TestTreeContainsEveryBodyExactlyOnce(t *testing.T) {
+	b := New(300, 1, 4)
+	bodies := b.initBodies()
+	tree := buildTree(scratchFor(len(bodies)), bodies)
+	seen := make([]int, len(bodies))
+	var walk func(nd int32)
+	walk = func(nd int32) {
+		leaf := tree.st.getI(int(nd)*cellI + offLeaf)
+		if leaf > 0 {
+			seen[leaf-1]++
+			return
+		}
+		if leaf == 0 {
+			return
+		}
+		for k := 0; k < 8; k++ {
+			if kid := tree.st.getI(int(nd)*cellI + k); kid != 0 {
+				walk(kid - 1)
+			}
+		}
+	}
+	walk(0)
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("body %d appears %d times in the tree", i, c)
+		}
+	}
+}
+
+func TestTreeMassConservation(t *testing.T) {
+	b := New(200, 1, 11)
+	bodies := b.initBodies()
+	tree := buildTree(scratchFor(len(bodies)), bodies)
+	var total float64
+	for _, bb := range bodies {
+		total += bb.m
+	}
+	rootMass := tree.st.getF(offMass)
+	if math.Abs(rootMass-total) > 1e-12 {
+		t.Fatalf("root mass %g, bodies sum %g", rootMass, total)
+	}
+}
+
+func TestTreeGeometryInvariant(t *testing.T) {
+	// Every leaf body must lie inside its cell's cube.
+	b := New(150, 1, 2)
+	bodies := b.initBodies()
+	tree := buildTree(scratchFor(len(bodies)), bodies)
+	var walk func(nd int32)
+	walk = func(nd int32) {
+		fb := int(nd) * cellF
+		cx, cy, cz := tree.st.getF(fb+offCX), tree.st.getF(fb+offCY), tree.st.getF(fb+offCZ)
+		half := tree.st.getF(fb + offHalf)
+		leaf := tree.st.getI(int(nd)*cellI + offLeaf)
+		if leaf > 0 {
+			bb := bodies[leaf-1]
+			// A small epsilon accommodates boundary rounding in octant
+			// selection.
+			const eps = 1e-12
+			if math.Abs(bb.x-cx) > half+eps || math.Abs(bb.y-cy) > half+eps || math.Abs(bb.z-cz) > half+eps {
+				t.Fatalf("body %d outside its cell (|dx|=%g half=%g)", leaf-1, math.Abs(bb.x-cx), half)
+			}
+		}
+		if leaf == -1 {
+			for k := 0; k < 8; k++ {
+				if kid := tree.st.getI(int(nd)*cellI + k); kid != 0 {
+					walk(kid - 1)
+				}
+			}
+		}
+	}
+	walk(0)
+}
+
+func TestForceMatchesDirectSummationForSmallTheta(t *testing.T) {
+	// With theta -> 0 the tree walk degenerates to direct summation.
+	b := New(64, 1, 3)
+	bodies := b.initBodies()
+	tree := buildTree(scratchFor(len(bodies)), bodies)
+
+	direct := func(i int) (fx, fy, fz float64) {
+		bi := bodies[i]
+		for j, bj := range bodies {
+			if j == i {
+				continue
+			}
+			dx, dy, dz := bj.x-bi.x, bj.y-bi.y, bj.z-bi.z
+			d2 := dx*dx + dy*dy + dz*dz + softening*softening
+			inv := 1 / math.Sqrt(d2)
+			f := bi.m * bj.m * inv * inv * inv
+			fx += f * dx
+			fy += f * dy
+			fz += f * dz
+		}
+		return
+	}
+	for i := 0; i < 8; i++ {
+		fx, fy, fz, count := tree.force(i)
+		dx, dy, dz := direct(i)
+		mag := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		err := math.Sqrt((fx-dx)*(fx-dx) + (fy-dy)*(fy-dy) + (fz-dz)*(fz-dz))
+		// theta=0.7 gives a few percent accuracy on smooth fields.
+		if err > 0.15*mag+1e-9 {
+			t.Errorf("body %d: BH force error %.3g of magnitude %.3g", i, err, mag)
+		}
+		if count <= 0 || count >= len(bodies)*2 {
+			t.Errorf("body %d: interaction count %d", i, count)
+		}
+	}
+}
+
+func TestCostPartitionTilesProperty(t *testing.T) {
+	f := func(raw []uint8, workersRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		work := make([]float64, len(raw))
+		for i, r := range raw {
+			work[i] = float64(r) + 0.5 // strictly positive
+		}
+		workers := int(workersRaw)%8 + 1
+		prevHi := 0
+		for w := 0; w < workers; w++ {
+			lo, hi := costPartition(work, workers, w)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+		}
+		return prevHi == len(work)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostPartitionBalances(t *testing.T) {
+	work := make([]float64, 1000)
+	for i := range work {
+		work[i] = 1
+	}
+	for w := 0; w < 4; w++ {
+		lo, hi := costPartition(work, 4, w)
+		if hi-lo != 250 {
+			t.Fatalf("uniform work: chunk %d is %d items", w, hi-lo)
+		}
+	}
+	// Skewed work: first item huge.
+	work[0] = 1e6
+	lo, hi := costPartition(work, 4, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("skewed work: chunk 0 = [%d,%d), want [0,1)", lo, hi)
+	}
+}
+
+func TestCellRangeTiles(t *testing.T) {
+	for _, tc := range []struct{ cap, w int }{{100, 4}, {97, 5}, {8, 12}} {
+		prev := 0
+		for w := 0; w < tc.w; w++ {
+			lo, hi := cellRange(tc.cap, tc.w, w)
+			if lo > hi {
+				t.Fatalf("cap=%d w=%d: lo>hi", tc.cap, w)
+			}
+			if lo != prev && lo < tc.cap {
+				t.Fatalf("cap=%d w=%d: gap (%d != %d)", tc.cap, w, lo, prev)
+			}
+			prev = hi
+		}
+		if prev < tc.cap {
+			t.Fatalf("cap=%d: ranges cover only %d", tc.cap, prev)
+		}
+	}
+}
+
+func TestCopyCellsRoundTrip(t *testing.T) {
+	src := scratchFor(10)
+	for i := range src.f {
+		src.f[i] = float64(i) * 1.25
+	}
+	for i := range src.k {
+		src.k[i] = int32(i)
+	}
+	dst := scratchFor(10)
+	copyCells(dst, src, 3, 7)
+	for c := 0; c < treeCapacity(10); c++ {
+		inRange := c >= 3 && c < 7
+		for f := 0; f < cellF; f++ {
+			got := dst.f[c*cellF+f]
+			want := 0.0
+			if inRange {
+				want = src.f[c*cellF+f]
+			}
+			if got != want {
+				t.Fatalf("cell %d float %d = %v, want %v", c, f, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflow")
+		}
+	}()
+	// Two bodies at the same position split forever; the capacity check
+	// must catch it rather than hang.
+	bodies := []body{{x: 0.5, y: 0.5, z: 0.5, m: 1}, {x: 0.5, y: 0.5, z: 0.5, m: 1}}
+	buildTree(scratchFor(len(bodies)), bodies)
+}
+
+func TestPresets(t *testing.T) {
+	if p := Paper(); p.Bodies != 16384 || p.Steps != 6 {
+		t.Error("paper preset (16K bodies, 6 steps)")
+	}
+	if Default().Bodies >= Paper().Bodies {
+		t.Error("default should be scaled down")
+	}
+	if New(10, 1, 1).Name() != "barnes" {
+		t.Error("Name")
+	}
+}

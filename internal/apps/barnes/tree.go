@@ -1,0 +1,351 @@
+package barnes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/jmm"
+	"repro/internal/threads"
+)
+
+// The Barnes-Hut tree is made of Java objects living in the shared
+// memory, exactly as in Hyperion's SPLASH-2 port: every cell access during
+// tree construction and force evaluation is a DSM object access, so under
+// java_ic each one pays an in-line locality check — that is what makes
+// Barnes' single-node improvement large (46% in Figure 3). Each thread
+// builds its replica in cells homed on its own node, so under java_pf all
+// tree accesses are free of overhead.
+//
+// The tree code is parameterized by a storage backend: the simulated
+// threads use dsmStore (shared arrays); the sequential reference uses
+// localStore (plain slices). Both perform bit-identical arithmetic, so the
+// distributed run must reproduce the reference positions exactly.
+
+// store abstracts the flat cell arrays.
+type store interface {
+	getF(i int) float64
+	setF(i int, v float64)
+	getI(i int) int32
+	setI(i int, v int32)
+}
+
+// dsmStore backs the tree with shared DSM arrays.
+type dsmStore struct {
+	t *threads.Thread
+	f jmm.F64Array
+	k jmm.I32Array
+}
+
+func (s dsmStore) getF(i int) float64    { return s.f.Get(s.t, i) }
+func (s dsmStore) setF(i int, v float64) { s.f.Set(s.t, i, v) }
+func (s dsmStore) getI(i int) int32      { return s.k.Get(s.t, i) }
+func (s dsmStore) setI(i int, v int32)   { s.k.Set(s.t, i, v) }
+
+// localStore backs the tree with plain Go slices (reference runs and the
+// per-thread scratch replicas used to compute the cooperative build's
+// content deterministically).
+type localStore struct {
+	f []float64
+	k []int32
+}
+
+func (s localStore) getF(i int) float64    { return s.f[i] }
+func (s localStore) setF(i int, v float64) { s.f[i] = v }
+func (s localStore) getI(i int) int32      { return s.k[i] }
+func (s localStore) setI(i int, v int32)   { s.k[i] = v }
+
+// chunkedStore backs the tree with the cooperative shared layout of
+// SPLASH-2 Barnes: the cell space is split into one contiguous chunk per
+// worker, each chunk homed on (and written by) its worker's node. Force
+// walks therefore read mostly remote cells — the irregular, growing
+// communication §4.3 describes — while each worker's build writes stay
+// home-local.
+type chunkedStore struct {
+	t          *threads.Thread
+	fChunks    []jmm.F64Array
+	kChunks    []jmm.I32Array
+	chunkCells int
+}
+
+func (s chunkedStore) locF(i int) (jmm.F64Array, int) {
+	cell, f := i/cellF, i%cellF
+	ch := cell / s.chunkCells
+	return s.fChunks[ch], (cell%s.chunkCells)*cellF + f
+}
+
+func (s chunkedStore) locI(i int) (jmm.I32Array, int) {
+	cell, f := i/cellI, i%cellI
+	ch := cell / s.chunkCells
+	return s.kChunks[ch], (cell%s.chunkCells)*cellI + f
+}
+
+func (s chunkedStore) getF(i int) float64 { a, off := s.locF(i); return a.Get(s.t, off) }
+func (s chunkedStore) setF(i int, v float64) {
+	a, off := s.locF(i)
+	a.Set(s.t, off, v)
+}
+func (s chunkedStore) getI(i int) int32 { a, off := s.locI(i); return a.Get(s.t, off) }
+func (s chunkedStore) setI(i int, v int32) {
+	a, off := s.locI(i)
+	a.Set(s.t, off, v)
+}
+
+// cellRange returns the cell range of chunk w under W chunks of capacity
+// capCells total.
+func cellRange(capCells, W, w int) (lo, hi int) {
+	per := (capCells + W - 1) / W
+	lo = w * per
+	hi = lo + per
+	if hi > capCells {
+		hi = capCells
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// copyCells writes the content of cells [lo,hi) from a scratch build into
+// the shared store (the worker's contribution to the cooperative build).
+func copyCells(dst store, src localStore, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		fb := c * cellF
+		for f := 0; f < cellF; f++ {
+			dst.setF(fb+f, src.f[fb+f])
+		}
+		ib := c * cellI
+		for f := 0; f < cellI; f++ {
+			dst.setI(ib+f, src.k[ib+f])
+		}
+	}
+}
+
+// Cell layout in the flat arrays.
+const (
+	cellF = 8 // cx, cy, cz, half, mass, mx, my, mz
+	cellI = 9 // kids[8] (cell index+1, 0 = none), leaf (body+1, 0 = empty, -1 = internal)
+
+	offCX, offCY, offCZ, offHalf = 0, 1, 2, 3
+	offMass, offMX, offMY, offMZ = 4, 5, 6, 7
+	offLeaf                      = 8
+)
+
+// octree is one Barnes-Hut tree instance over a snapshot of body data.
+type octree struct {
+	bodies []body
+	st     store
+	cells  int
+	cap    int
+	// insertSteps counts tree levels descended during construction;
+	// the caller charges CPU cycles for them (the object accesses
+	// charge themselves through the store).
+	insertSteps int
+}
+
+// treeCapacity returns the cell capacity used for n bodies.
+func treeCapacity(n int) int { return 8*n + 64 }
+
+// buildTree constructs the octree over the bodies snapshot in the given
+// storage.
+func buildTree(st store, bodies []body) *octree {
+	t := &octree{bodies: bodies, st: st, cap: treeCapacity(len(bodies))}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, b := range bodies {
+		for _, v := range [3]float64{b.x, b.y, b.z} {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if min > max {
+		min, max = -1, 1
+	}
+	c := (min + max) / 2
+	half := (max-min)/2 + 1e-9
+	t.allocCell(c, c, c, half)
+	for i := range bodies {
+		t.insert(i)
+	}
+	t.computeMass(0)
+	return t
+}
+
+// allocCell claims and initializes the next free cell.
+func (t *octree) allocCell(cx, cy, cz, half float64) int32 {
+	if t.cells >= t.cap {
+		panic(fmt.Sprintf("barnes: tree overflow (%d cells for %d bodies)", t.cells, len(t.bodies)))
+	}
+	c := int32(t.cells)
+	t.cells++
+	fb := int(c) * cellF
+	t.st.setF(fb+offCX, cx)
+	t.st.setF(fb+offCY, cy)
+	t.st.setF(fb+offCZ, cz)
+	t.st.setF(fb+offHalf, half)
+	t.st.setF(fb+offMass, 0)
+	t.st.setF(fb+offMX, 0)
+	t.st.setF(fb+offMY, 0)
+	t.st.setF(fb+offMZ, 0)
+	ib := int(c) * cellI
+	for k := 0; k < 8; k++ {
+		t.st.setI(ib+k, 0)
+	}
+	t.st.setI(ib+offLeaf, 0)
+	return c
+}
+
+// insert places body i, splitting occupied leaves as needed.
+func (t *octree) insert(i int) {
+	nd := int32(0)
+	for {
+		t.insertSteps++
+		leaf := t.st.getI(int(nd)*cellI + offLeaf)
+		switch {
+		case leaf == 0 && t.isEmptyLeaf(nd):
+			t.st.setI(int(nd)*cellI+offLeaf, int32(i)+1)
+			return
+		case leaf > 0:
+			// Occupied leaf: push the resident one level down.
+			resident := int(leaf) - 1
+			t.st.setI(int(nd)*cellI+offLeaf, -1)
+			child := t.childFor(nd, resident)
+			t.st.setI(int(child)*cellI+offLeaf, int32(resident)+1)
+		}
+		nd = t.childFor(nd, i)
+	}
+}
+
+// isEmptyLeaf reports whether nd has never split (all kids zero) and
+// holds no body. leaf == -1 marks internal nodes, so a zero leaf with any
+// kid set cannot occur; the check is cheap and defensive.
+func (t *octree) isEmptyLeaf(nd int32) bool {
+	return t.st.getI(int(nd)*cellI+offLeaf) == 0
+}
+
+// childFor returns (allocating if necessary) the child octant of nd for
+// body i.
+func (t *octree) childFor(nd int32, i int) int32 {
+	b := t.bodies[i]
+	fb := int(nd) * cellF
+	cx := t.st.getF(fb + offCX)
+	cy := t.st.getF(fb + offCY)
+	cz := t.st.getF(fb + offCZ)
+	oct := 0
+	if b.x >= cx {
+		oct |= 1
+	}
+	if b.y >= cy {
+		oct |= 2
+	}
+	if b.z >= cz {
+		oct |= 4
+	}
+	kidSlot := int(nd)*cellI + oct
+	if kid := t.st.getI(kidSlot); kid != 0 {
+		return kid - 1
+	}
+	h := t.st.getF(fb+offHalf) / 2
+	ncx, ncy, ncz := cx-h, cy-h, cz-h
+	if oct&1 != 0 {
+		ncx = cx + h
+	}
+	if oct&2 != 0 {
+		ncy = cy + h
+	}
+	if oct&4 != 0 {
+		ncz = cz + h
+	}
+	child := t.allocCell(ncx, ncy, ncz, h)
+	t.st.setI(kidSlot, child+1)
+	return child
+}
+
+// computeMass fills masses and centers of mass bottom-up.
+func (t *octree) computeMass(nd int32) {
+	ib := int(nd) * cellI
+	fb := int(nd) * cellF
+	leaf := t.st.getI(ib + offLeaf)
+	if leaf > 0 {
+		b := t.bodies[leaf-1]
+		t.st.setF(fb+offMass, b.m)
+		t.st.setF(fb+offMX, b.x)
+		t.st.setF(fb+offMY, b.y)
+		t.st.setF(fb+offMZ, b.z)
+		return
+	}
+	if leaf == 0 {
+		return // empty
+	}
+	var mass, mx, my, mz float64
+	for k := 0; k < 8; k++ {
+		kid := t.st.getI(ib + k)
+		if kid == 0 {
+			continue
+		}
+		t.computeMass(kid - 1)
+		kfb := int(kid-1) * cellF
+		km := t.st.getF(kfb + offMass)
+		mass += km
+		mx += t.st.getF(kfb+offMX) * km
+		my += t.st.getF(kfb+offMY) * km
+		mz += t.st.getF(kfb+offMZ) * km
+	}
+	if mass > 0 {
+		mx /= mass
+		my /= mass
+		mz /= mass
+	}
+	t.st.setF(fb+offMass, mass)
+	t.st.setF(fb+offMX, mx)
+	t.st.setF(fb+offMY, my)
+	t.st.setF(fb+offMZ, mz)
+}
+
+// force evaluates the force on body i with the theta opening criterion,
+// returning the force vector and the number of interactions (the
+// load-balancing cost metric).
+func (t *octree) force(i int) (fx, fy, fz float64, count int) {
+	b := t.bodies[i]
+	var walk func(nd int32)
+	walk = func(nd int32) {
+		ib := int(nd) * cellI
+		fb := int(nd) * cellF
+		leaf := t.st.getI(ib + offLeaf)
+		if leaf == 0 {
+			return // empty leaf
+		}
+		if leaf > 0 && int(leaf)-1 == i {
+			return // self
+		}
+		mass := t.st.getF(fb + offMass)
+		if mass == 0 {
+			return
+		}
+		dx := t.st.getF(fb+offMX) - b.x
+		dy := t.st.getF(fb+offMY) - b.y
+		dz := t.st.getF(fb+offMZ) - b.z
+		d2 := dx*dx + dy*dy + dz*dz + softening*softening
+		if leaf == -1 {
+			half := t.st.getF(fb + offHalf)
+			if (2*half)*(2*half) > theta*theta*d2 {
+				for k := 0; k < 8; k++ {
+					if kid := t.st.getI(ib + k); kid != 0 {
+						walk(kid - 1)
+					}
+				}
+				return
+			}
+		}
+		inv := 1 / math.Sqrt(d2)
+		f := b.m * mass * inv * inv * inv
+		fx += f * dx
+		fy += f * dy
+		fz += f * dz
+		count++
+	}
+	walk(0)
+	return fx, fy, fz, count
+}

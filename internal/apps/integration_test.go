@@ -1,0 +1,227 @@
+package apps_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/asp"
+	"repro/internal/apps/barnes"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/pi"
+	"repro/internal/apps/tsp"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jmm"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/threads"
+	"repro/internal/vtime"
+)
+
+// small instances keep the integration matrix fast while still crossing
+// page and node boundaries.
+func smallApps() []apps.App {
+	return []apps.App{
+		pi.New(200_000),
+		jacobi.New(48, 4),
+		barnes.New(192, 2, 7),
+		tsp.New(9, 3),
+		asp.New(48, 5),
+	}
+}
+
+func runOnce(t *testing.T, app apps.App, cfg model.Cluster, nodes int, proto string) (vtime.Time, stats.Snapshot, apps.Check) {
+	t.Helper()
+	cnt := &stats.Counters{}
+	cl, err := cluster.New(cfg, nodes, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProtocol(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(cl, model.DefaultDSMCosts(), p)
+	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
+	h := jmm.NewHeap(eng)
+
+	done := make(chan apps.Check, 1)
+	var end vtime.Time
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s/%s/%d panicked: %v", app.Name(), proto, nodes, r)
+			}
+		}()
+		check := app.Run(rt, h, nodes)
+		done <- check
+	}()
+	check := <-done
+	_ = end
+	return 0, cnt.Snapshot(), check
+}
+
+// TestAllAppsValidateAcrossProtocolsAndSizes is the central integration
+// matrix: every benchmark must produce a reference-matching result under
+// both protocols at several cluster sizes on both platforms.
+func TestAllAppsValidateAcrossProtocolsAndSizes(t *testing.T) {
+	for _, app := range smallApps() {
+		for _, cfg := range []model.Cluster{model.Myrinet200(), model.SCI450()} {
+			for _, nodes := range []int{1, 2, 4} {
+				if nodes > cfg.MaxNodes {
+					continue
+				}
+				for _, proto := range []string{"java_ic", "java_pf"} {
+					_, _, check := runOnce(t, app, cfg, nodes, proto)
+					if !check.Valid {
+						t.Errorf("%s on %s x%d under %s failed validation: %s",
+							app.Name(), cfg.Name, nodes, proto, check.Summary)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProtocolStatsProfiles checks the fingerprints §3 predicts: java_ic
+// performs locality checks and zero faults; java_pf performs faults and
+// mprotects and zero checks.
+func TestProtocolStatsProfiles(t *testing.T) {
+	app := jacobi.New(48, 4)
+	_, sIC, _ := runOnce(t, app, model.Myrinet200(), 4, "java_ic")
+	if sIC.LocalityChecks == 0 {
+		t.Error("java_ic performed no locality checks")
+	}
+	if sIC.PageFaults != 0 || sIC.MprotectCalls != 0 {
+		t.Errorf("java_ic performed faults/mprotects: %+v", sIC)
+	}
+	_, sPF, _ := runOnce(t, app, model.Myrinet200(), 4, "java_pf")
+	if sPF.LocalityChecks != 0 {
+		t.Error("java_pf performed locality checks")
+	}
+	if sPF.PageFaults == 0 || sPF.MprotectCalls == 0 {
+		t.Error("java_pf performed no faults/mprotects on a multi-node run")
+	}
+	if sPF.PageFetches == 0 || sIC.PageFetches == 0 {
+		t.Error("no page fetches on a distributed run")
+	}
+}
+
+// TestSingleNodeNoCommunication: on one node there are no remote pages,
+// so neither protocol should fetch pages or fault.
+func TestSingleNodeNoCommunication(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		_, s, check := runOnce(t, jacobi.New(32, 2), model.Myrinet200(), 1, proto)
+		if !check.Valid {
+			t.Fatalf("%s single-node run invalid: %s", proto, check.Summary)
+		}
+		if s.PageFetches != 0 || s.PageFaults != 0 {
+			t.Errorf("%s: single-node run fetched %d pages, faulted %d", proto, s.PageFetches, s.PageFaults)
+		}
+	}
+}
+
+// TestTSPFindsOptimum regardless of scheduling nondeterminism.
+func TestTSPFindsOptimum(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		_, _, check := runOnce(t, tsp.New(10, seed), model.SCI450(), 3, "java_pf")
+		if !check.Valid {
+			t.Errorf("seed %d: %s", seed, check.Summary)
+		}
+	}
+}
+
+// TestAppNames pins the figure labels.
+func TestAppNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range smallApps() {
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"pi", "jacobi", "barnes", "tsp", "asp"} {
+		if !names[want] {
+			t.Errorf("missing app %q", want)
+		}
+	}
+}
+
+// TestPaperPresetsMatchSection41 pins the paper's workload parameters.
+func TestPaperPresetsMatchSection41(t *testing.T) {
+	if p := pi.Paper(); p.Intervals != 50_000_000 {
+		t.Error("Pi: 50 million values (§4.1)")
+	}
+	if j := jacobi.Paper(); j.N != 1024 || j.Steps != 100 {
+		t.Error("Jacobi: 1024x1024 mesh, 100 time steps (§4.1)")
+	}
+	if b := barnes.Paper(); b.Bodies != 16384 || b.Steps != 6 {
+		t.Error("Barnes: 16K bodies, 6 timesteps (§4.1)")
+	}
+	if ts := tsp.Paper(); ts.Cities != 17 {
+		t.Error("TSP: 17-city problem (§4.1)")
+	}
+	if a := asp.Paper(); a.N != 2000 {
+		t.Error("ASP: 2000-node graph (§4.1)")
+	}
+}
+
+// TestJavaUPValidatesOnAllApps extends the matrix to the update-based
+// protocol extension: program semantics must be identical under it.
+func TestJavaUPValidatesOnAllApps(t *testing.T) {
+	for _, app := range smallApps() {
+		_, _, check := runOnce(t, app, model.SCI450(), 3, "java_up")
+		if !check.Valid {
+			t.Errorf("%s under java_up failed validation: %s", app.Name(), check.Summary)
+		}
+	}
+}
+
+// TestPaperScalePi runs the one paper-scale workload cheap enough for the
+// regular suite: Pi with the full 50 million intervals (§4.1). On the
+// simulated 200 MHz cluster the single-node time must land near the
+// paper's Figure 1 (~9-10 virtual seconds).
+func TestPaperScalePi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale workload")
+	}
+	cnt := &stats.Counters{}
+	cl, err := cluster.New(model.Myrinet200(), 1, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProtocol("java_pf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(cl, model.DefaultDSMCosts(), p)
+	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
+	check := pi.Paper().Run(rt, jmm.NewHeap(eng), 1)
+	if !check.Valid {
+		t.Fatalf("paper-scale Pi invalid: %s", check.Summary)
+	}
+	secs := rt.LastEnd().Seconds()
+	if secs < 7 || secs > 13 {
+		t.Fatalf("paper-scale single-node Pi = %.2f virtual seconds; Figure 1 shows ~9-10", secs)
+	}
+}
+
+// TestThreadsPerNodeKeepsResultsValid is the §4.3 future-work setup at
+// the app level: several threads per node must not change any program's
+// answer.
+func TestThreadsPerNodeKeepsResultsValid(t *testing.T) {
+	for _, app := range smallApps() {
+		cnt := &stats.Counters{}
+		cl, err := cluster.New(model.SCI450(), 2, cnt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewProtocol("java_pf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.NewEngine(cl, model.DefaultDSMCosts(), p)
+		rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
+		check := app.Run(rt, jmm.NewHeap(eng), 6) // 3 threads per node
+		if !check.Valid {
+			t.Errorf("%s with 3 threads/node failed: %s", app.Name(), check.Summary)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package jacobi
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jmm"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/threads"
+)
+
+func run(t *testing.T, app *Jacobi, cfg model.Cluster, nodes int, proto string) (float64, stats.Snapshot) {
+	t.Helper()
+	cnt := &stats.Counters{}
+	cl, err := cluster.New(cfg, nodes, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProtocol(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(cl, model.DefaultDSMCosts(), p)
+	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
+	check := app.Run(rt, jmm.NewHeap(eng), nodes)
+	if !check.Valid {
+		t.Fatalf("invalid: %s", check.Summary)
+	}
+	return rt.LastEnd().Seconds(), cnt.Snapshot()
+}
+
+func TestMatchesReferenceAtOddSizes(t *testing.T) {
+	// Row counts that do not divide evenly among workers exercise the
+	// block partition edges.
+	for _, tc := range []struct{ n, steps, nodes int }{
+		{31, 3, 3}, {50, 5, 4}, {64, 2, 5},
+	} {
+		run(t, New(tc.n, tc.steps), model.Myrinet200(), tc.nodes, "java_pf")
+		run(t, New(tc.n, tc.steps), model.Myrinet200(), tc.nodes, "java_ic")
+	}
+}
+
+func TestCommunicationConstantPerStep(t *testing.T) {
+	// §4.3: Jacobi's communication costs are constant as the cluster
+	// size varies — each worker exchanges exactly two boundary rows per
+	// step regardless of node count.
+	_, s4 := run(t, New(64, 4), model.Myrinet200(), 4, "java_pf")
+	_, s8 := run(t, New(64, 8), model.Myrinet200(), 4, "java_pf")
+	perStep4 := float64(s4.PageFetches) / 4
+	perStep8 := float64(s8.PageFetches) / 8
+	if perStep8 > perStep4*1.5 || perStep8 < perStep4*0.5 {
+		t.Fatalf("fetches per step changed with step count: %.1f vs %.1f", perStep4, perStep8)
+	}
+}
+
+func TestBoundaryRowsStayFixed(t *testing.T) {
+	// The hot boundary must survive the relaxation (it is never
+	// rewritten).
+	j := New(24, 6)
+	ref := j.reference()
+	for col := 0; col < 24; col++ {
+		if ref[0][col] != boundaryValue {
+			t.Fatalf("boundary cell (0,%d) = %v", col, ref[0][col])
+		}
+	}
+	// And heat must have diffused into the interior.
+	if ref[1][12] <= 0 {
+		t.Fatal("no diffusion after 6 steps")
+	}
+}
+
+func TestSpeedupAndImprovementBands(t *testing.T) {
+	app := New(96, 6)
+	ic1, _ := run(t, app, model.Myrinet200(), 1, "java_ic")
+	pf1, _ := run(t, app, model.Myrinet200(), 1, "java_pf")
+	pf6, _ := run(t, app, model.Myrinet200(), 6, "java_pf")
+	if pf6 >= pf1 {
+		t.Fatalf("no speedup: %.4f -> %.4f", pf1, pf6)
+	}
+	impr := (ic1 - pf1) / ic1
+	if impr < 0.25 || impr > 0.55 {
+		t.Fatalf("single-node improvement = %.1f%%, want near the paper's 38%%", impr*100)
+	}
+}
+
+func TestSCIImprovementSmaller(t *testing.T) {
+	// §4.3: the faster SCI processors make check removal less valuable.
+	app := New(96, 6)
+	icM, _ := run(t, app, model.Myrinet200(), 2, "java_ic")
+	pfM, _ := run(t, app, model.Myrinet200(), 2, "java_pf")
+	icS, _ := run(t, app, model.SCI450(), 2, "java_ic")
+	pfS, _ := run(t, app, model.SCI450(), 2, "java_pf")
+	imprM := (icM - pfM) / icM
+	imprS := (icS - pfS) / icS
+	if imprS >= imprM {
+		t.Fatalf("SCI improvement (%.1f%%) should be below Myrinet (%.1f%%)", imprS*100, imprM*100)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if p := Paper(); p.N != 1024 || p.Steps != 100 {
+		t.Error("paper: 1024x1024 mesh, 100 steps")
+	}
+	if Default().N >= Paper().N {
+		t.Error("default should be scaled down")
+	}
+	if New(8, 1).Name() != "jacobi" {
+		t.Error("Name")
+	}
+}

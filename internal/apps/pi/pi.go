@@ -1,0 +1,90 @@
+// Package pi implements the paper's Pi benchmark: estimating pi by a
+// Riemann sum of 50 million values (midpoint rule over 4/(1+x^2)). The
+// program is embarrassingly parallel — threads compute partial sums over
+// private interval ranges entirely on their stacks and coordinate only
+// once, to accumulate the global sum under a monitor. It therefore
+// performs almost no shared-object accesses, which is why the two
+// protocols behave identically on it (Figure 1).
+package pi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/jmm"
+	"repro/internal/threads"
+)
+
+// IterCycles is the per-interval cost: one floating-point divide
+// (~32 cycles on the modeled machines) plus multiply/add work.
+const IterCycles = 40
+
+// computeBlock is how many intervals are charged to the virtual clock at
+// a time; the arithmetic itself is exact regardless.
+const computeBlock = 8192
+
+// Pi is the benchmark instance.
+type Pi struct {
+	// Intervals is the number of Riemann intervals (50e6 in the paper).
+	Intervals int64
+}
+
+// New returns a Pi instance with the given interval count.
+func New(intervals int64) *Pi { return &Pi{Intervals: intervals} }
+
+// Paper returns the paper-scale instance (50 million intervals).
+func Paper() *Pi { return New(50_000_000) }
+
+// Default returns a scaled-down instance suitable for fast sweeps.
+func Default() *Pi { return New(2_000_000) }
+
+// Name implements apps.App.
+func (p *Pi) Name() string { return "pi" }
+
+// Run implements apps.App.
+func (p *Pi) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
+	var estimate float64
+	rt.Main(func(main *threads.Thread) {
+		total := h.NewF64Array(main, 0, 1)
+		mon := h.NewMonitor(0)
+		dx := 1.0 / float64(p.Intervals)
+
+		ws := make([]*threads.Thread, workers)
+		for w := 0; w < workers; w++ {
+			lo64 := int64(w) * p.Intervals / int64(workers)
+			hi64 := int64(w+1) * p.Intervals / int64(workers)
+			ws[w] = rt.Spawn(main, func(t *threads.Thread) {
+				local := 0.0
+				for i := lo64; i < hi64; {
+					start := i
+					end := i + computeBlock
+					if end > hi64 {
+						end = hi64
+					}
+					for ; i < end; i++ {
+						x := (float64(i) + 0.5) * dx
+						local += 4.0 / (1.0 + x*x)
+					}
+					t.Compute(IterCycles*float64(end-start), 0)
+				}
+				// The only shared-memory interaction: one global
+				// accumulation under the monitor.
+				mon.Synchronized(t, func() {
+					total.Set(t, 0, total.Get(t, 0)+local)
+				})
+			})
+		}
+		for _, w := range ws {
+			rt.Join(main, w)
+		}
+		mon.Synchronized(main, func() { estimate = total.Get(main, 0) * dx })
+	})
+
+	err := math.Abs(estimate - math.Pi)
+	tol := 10.0 / float64(p.Intervals) // midpoint rule is O(dx^2); be generous
+	return apps.Check{
+		Summary: fmt.Sprintf("pi=%.10f err=%.3g", estimate, err),
+		Valid:   err < tol,
+	}
+}

@@ -1,0 +1,94 @@
+package pi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jmm"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/threads"
+)
+
+func run(t *testing.T, app *Pi, nodes int, proto string) (float64, stats.Snapshot) {
+	t.Helper()
+	cnt := &stats.Counters{}
+	cl, err := cluster.New(model.Myrinet200(), nodes, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProtocol(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(cl, model.DefaultDSMCosts(), p)
+	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
+	check := app.Run(rt, jmm.NewHeap(eng), nodes)
+	if !check.Valid {
+		t.Fatalf("invalid: %s", check.Summary)
+	}
+	return rt.LastEnd().Seconds(), cnt.Snapshot()
+}
+
+func TestEstimateConverges(t *testing.T) {
+	// The midpoint rule's error shrinks with the interval count; we
+	// verify through the Check tolerance at two scales.
+	run(t, New(10_000), 2, "java_pf")
+	run(t, New(1_000_000), 2, "java_pf")
+}
+
+func TestPartialSumsAreExactAcrossWorkerCounts(t *testing.T) {
+	// The global sum must not depend on how the interval range is split.
+	app := New(300_000)
+	s1, _ := run(t, app, 1, "java_pf")
+	s4, _ := run(t, app, 4, "java_pf")
+	if s4 >= s1 {
+		t.Fatalf("no speedup: 1 node %.4fs vs 4 nodes %.4fs", s1, s4)
+	}
+}
+
+func TestMinimalSharedTraffic(t *testing.T) {
+	// Pi coordinates only for the final sum: a handful of monitor
+	// acquires and page fetches, nothing proportional to the intervals.
+	_, s := run(t, New(500_000), 4, "java_pf")
+	if s.MonitorAcquires > 20 {
+		t.Errorf("monitor acquires = %d, want O(workers)", s.MonitorAcquires)
+	}
+	if s.PageFetches > 20 {
+		t.Errorf("page fetches = %d, want O(workers)", s.PageFetches)
+	}
+}
+
+func TestProtocolsEssentiallyIdentical(t *testing.T) {
+	// The paper's Figure 1 observation.
+	app := New(500_000)
+	ic, _ := run(t, app, 4, "java_ic")
+	pf, _ := run(t, app, 4, "java_pf")
+	if diff := math.Abs(ic-pf) / ic; diff > 0.05 {
+		t.Fatalf("protocols differ by %.1f%% on Pi, want <5%%", diff*100)
+	}
+}
+
+func TestScalingNearLinear(t *testing.T) {
+	app := New(2_000_000)
+	s1, _ := run(t, app, 1, "java_pf")
+	s8, _ := run(t, app, 8, "java_pf")
+	speedup := s1 / s8
+	if speedup < 6 {
+		t.Fatalf("8-node speedup = %.2f, want near-linear for embarrassingly parallel Pi", speedup)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if Paper().Intervals != 50_000_000 {
+		t.Error("paper: 50 million values")
+	}
+	if Default().Intervals >= Paper().Intervals {
+		t.Error("default should be scaled down")
+	}
+	if New(1).Name() != "pi" {
+		t.Error("Name")
+	}
+}

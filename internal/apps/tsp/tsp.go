@@ -1,0 +1,365 @@
+// Package tsp implements the paper's TSP benchmark: a branch-and-bound
+// solution to the Traveling Salesperson Problem (a 17-city instance in the
+// paper; the code is modeled on the Jackal group's version the authors
+// credit). A central queue of work (tour prefixes) and the best solution
+// seen so far are stored on a single node, protected by Java monitors, and
+// "must be fetched by threads executing on other nodes" (§4.1) — every
+// queue pop invalidates the popping node's cache, so the distance matrix
+// and bound are re-fetched repeatedly, while the search between pops is
+// pure object access whose locality checks java_ic pays for on every
+// distance lookup.
+package tsp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/jmm"
+	"repro/internal/threads"
+)
+
+// Search cost constants: a branch step is a handful of integer ops and a
+// visited-set test around the DSM distance lookups.
+const (
+	nodeCycles = 14 // per search-tree node: loop control, bound compare
+	edgeCycles = 6  // per candidate edge beyond the distance lookup
+)
+
+const inf = int32(1 << 30)
+
+// TSP is the benchmark instance.
+type TSP struct {
+	Cities int
+	Seed   int64
+	// PrefixDepth is the length of the tour prefixes placed on the
+	// central queue (excluding the fixed start city 0).
+	PrefixDepth int
+}
+
+// New returns a TSP instance over n cities with deterministic distances
+// derived from seed.
+func New(n int, seed int64) *TSP { return &TSP{Cities: n, Seed: seed, PrefixDepth: 2} }
+
+// Paper returns the paper-scale instance (17 cities).
+func Paper() *TSP { return New(17, 1) }
+
+// Default returns a scaled-down instance suitable for fast sweeps.
+func Default() *TSP { return New(14, 16) }
+
+// Name implements apps.App.
+func (p *TSP) Name() string { return "tsp" }
+
+// distances builds the symmetric random distance matrix.
+func (p *TSP) distances() [][]int32 {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.Cities
+	d := make([][]int32, n)
+	for i := range d {
+		d[i] = make([]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := int32(1 + rng.Intn(99))
+			d[i][j], d[j][i] = w, w
+		}
+	}
+	return d
+}
+
+// prefixes enumerates all tour prefixes 0, c1, .., c_depth of distinct
+// cities, the unit of work on the central queue.
+func (p *TSP) prefixes() [][]int32 {
+	var out [][]int32
+	var rec func(prefix []int32, used uint32)
+	rec = func(prefix []int32, used uint32) {
+		if len(prefix) == p.PrefixDepth+1 {
+			out = append(out, append([]int32(nil), prefix...))
+			return
+		}
+		for c := int32(1); c < int32(p.Cities); c++ {
+			if used&(1<<uint(c)) != 0 {
+				continue
+			}
+			rec(append(prefix, c), used|1<<uint(c))
+		}
+	}
+	rec([]int32{0}, 1)
+	return out
+}
+
+// Run implements apps.App.
+func (p *TSP) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
+	n := p.Cities
+	ref := p.distances()
+	items := p.prefixes()
+	itemLen := p.PrefixDepth + 1
+
+	var bestLen int32
+	rt.Main(func(main *threads.Thread) {
+		// Central structures, all homed on node 0 (§4.1).
+		dist := h.NewI32Array(main, 0, n*n)
+		queue := h.NewI32Array(main, 0, len(items)*itemLen)
+		qhead := h.NewI32Array(main, 0, 1)
+		best := h.NewI32Array(main, 0, 1)
+		monQ := h.NewMonitor(0)
+		monB := h.NewMonitor(0)
+
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dist.Set(main, i*n+j, ref[i][j])
+			}
+		}
+		for i, it := range items {
+			for k, c := range it {
+				queue.Set(main, i*itemLen+k, c)
+			}
+		}
+		// Seed the bound with a deterministic greedy tour (nearest
+		// neighbor from city 0), as branch-and-bound TSP codes do; it
+		// makes pruning effective from the start and the search size
+		// insensitive to the timing of bound updates.
+		best.Set(main, 0, greedyTour(ref))
+
+		ws := make([]*threads.Thread, workers)
+		for w := 0; w < workers; w++ {
+			ws[w] = rt.Spawn(main, func(t *threads.Thread) {
+				p.worker(t, dist, queue, qhead, best, monQ, monB, len(items), itemLen)
+			})
+		}
+		for _, w := range ws {
+			rt.Join(main, w)
+		}
+		monB.Synchronized(main, func() { bestLen = best.Get(main, 0) })
+	})
+
+	refLen := p.referenceLength(ref)
+	if refLen < 0 {
+		return apps.Check{
+			Summary: fmt.Sprintf("best=%d (instance too large for exact reference)", bestLen),
+			Valid:   bestLen < inf,
+		}
+	}
+	return apps.Check{
+		Summary: fmt.Sprintf("best=%d ref=%d", bestLen, refLen),
+		Valid:   bestLen == refLen,
+	}
+}
+
+// searcher holds one worker's branch-and-bound state.
+type searcher struct {
+	p          *TSP
+	t          *threads.Thread
+	dist, best jmm.I32Array
+	monB       *jmm.Monitor
+	minEdge    []int32 // cheapest edge out of each city (thread-local table)
+	path       []int32
+	localBest  int32
+}
+
+// worker pops prefixes from the central queue and searches them.
+func (p *TSP) worker(t *threads.Thread, dist, queue, qhead, best jmm.I32Array,
+	monQ, monB *jmm.Monitor, nItems, itemLen int) {
+	n := p.Cities
+	s := &searcher{
+		p: p, t: t, dist: dist, best: best, monB: monB,
+		minEdge: make([]int32, n),
+		path:    make([]int32, n),
+	}
+
+	// The bound table reads the whole distance matrix through the DSM
+	// once per worker.
+	for i := 0; i < n; i++ {
+		m := inf
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if d := dist.Get(t, i*n+j); d < m {
+				m = d
+			}
+		}
+		s.minEdge[i] = m
+		t.Compute(float64(n)*4, 0)
+	}
+
+	for {
+		// Pop one prefix under the queue monitor.
+		got := -1
+		monQ.Synchronized(t, func() {
+			hd := qhead.Get(t, 0)
+			if int(hd) < nItems {
+				qhead.Set(t, 0, hd+1)
+				got = int(hd)
+			}
+		})
+		if got < 0 {
+			return
+		}
+		var used uint32
+		var length, remaining int32
+		for i := 0; i < n; i++ {
+			remaining += s.minEdge[i]
+		}
+		for k := 0; k < itemLen; k++ {
+			c := queue.Get(t, got*itemLen+k)
+			s.path[k] = c
+			used |= 1 << uint(c)
+			if k > 0 {
+				length += dist.Get(t, int(s.path[k-1])*n+int(c))
+			}
+			if k > 0 {
+				remaining -= s.minEdge[s.path[k-1]]
+			}
+		}
+		// Refresh the global bound once per work item (it was fetched
+		// fresh after the queue monitor's invalidation).
+		s.localBest = best.Get(t, 0)
+		s.dfs(itemLen, used, length, remaining)
+	}
+}
+
+// dfs explores below path[:depth]. remaining is the sum of minEdge over
+// every city that still needs an outgoing edge (the unvisited cities plus
+// the current last city), a valid lower bound on the tour completion.
+func (s *searcher) dfs(depth int, used uint32, length, remaining int32) {
+	n := s.p.Cities
+	t := s.t
+	t.Compute(nodeCycles, 0)
+	last := int(s.path[depth-1])
+
+	if depth == n {
+		total := length + s.dist.Get(t, last*n+0)
+		if total < s.localBest {
+			s.monB.Synchronized(t, func() {
+				if cur := s.best.Get(t, 0); total < cur {
+					s.best.Set(t, 0, total)
+				}
+				// Either way, adopt the freshest global bound.
+				s.localBest = s.best.Get(t, 0)
+			})
+		}
+		return
+	}
+
+	for c := int32(1); c < int32(n); c++ {
+		if used&(1<<uint(c)) != 0 {
+			continue
+		}
+		t.Compute(edgeCycles, 0)
+		d := s.dist.Get(t, last*n+int(c))
+		newLen := length + d
+		newRemaining := remaining - s.minEdge[last]
+		if newLen+newRemaining >= s.localBest {
+			continue // even optimistically this branch cannot win
+		}
+		s.path[depth] = c
+		s.dfs(depth+1, used|1<<uint(c), newLen, newRemaining)
+	}
+}
+
+// greedyTour returns the length of a deterministic heuristic tour:
+// nearest neighbor from city 0 polished with 2-opt to a local optimum.
+// Branch-and-bound codes seed their bound this way; a tight initial bound
+// also makes the search size insensitive to the timing of mid-run bound
+// updates.
+func greedyTour(d [][]int32) int32 {
+	n := len(d)
+	visited := make([]bool, n)
+	visited[0] = true
+	tour := make([]int, 1, n)
+	cur := 0
+	for step := 1; step < n; step++ {
+		next, bestD := -1, inf
+		for c := 1; c < n; c++ {
+			if !visited[c] && d[cur][c] < bestD {
+				next, bestD = c, d[cur][c]
+			}
+		}
+		visited[next] = true
+		tour = append(tour, next)
+		cur = next
+	}
+	// 2-opt: reverse segments while any reversal shortens the tour.
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 2; j < n; j++ {
+				a, b := tour[i], tour[i+1]
+				c, e := tour[j], tour[(j+1)%n]
+				if i == (j+1)%n {
+					continue
+				}
+				if d[a][c]+d[b][e] < d[a][b]+d[c][e] {
+					for lo, hi := i+1, j; lo < hi; lo, hi = lo+1, hi-1 {
+						tour[lo], tour[hi] = tour[hi], tour[lo]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	total := int32(0)
+	for i := 0; i < n; i++ {
+		total += d[tour[i]][tour[(i+1)%n]]
+	}
+	return total
+}
+
+// Distances exposes the instance's matrix (diagnostics/tests).
+func (p *TSP) Distances() [][]int32 { return p.distances() }
+
+// GreedyLen exposes the greedy bound (diagnostics/tests).
+func (p *TSP) GreedyLen(d [][]int32) int32 { return greedyTour(d) }
+
+// ReferenceLen exposes the exact solution (diagnostics/tests).
+func (p *TSP) ReferenceLen(d [][]int32) int32 { return p.referenceLength(d) }
+
+// referenceLength solves the instance exactly with Held-Karp dynamic
+// programming, feasible up to ~15 cities; it returns -1 beyond that.
+func (p *TSP) referenceLength(d [][]int32) int32 {
+	n := p.Cities
+	if n > 15 {
+		return -1
+	}
+	// dp[mask][i]: shortest path visiting exactly `mask` (always
+	// containing city 0), ending at i.
+	size := 1 << uint(n)
+	dp := make([][]int32, size)
+	for m := range dp {
+		dp[m] = make([]int32, n)
+		for i := range dp[m] {
+			dp[m][i] = inf
+		}
+	}
+	dp[1][0] = 0
+	for mask := 1; mask < size; mask++ {
+		if mask&1 == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			cur := dp[mask][i]
+			if cur >= inf || mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					continue
+				}
+				nm := mask | 1<<uint(j)
+				if v := cur + d[i][j]; v < dp[nm][j] {
+					dp[nm][j] = v
+				}
+			}
+		}
+	}
+	bestTotal := inf
+	full := size - 1
+	for i := 1; i < n; i++ {
+		if v := dp[full][i] + d[i][0]; v < bestTotal {
+			bestTotal = v
+		}
+	}
+	return bestTotal
+}

@@ -1,0 +1,147 @@
+package tsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistancesSymmetricDeterministic(t *testing.T) {
+	p := New(10, 42)
+	d1 := p.distances()
+	d2 := p.distances()
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if d1[i][j] != d2[i][j] {
+				t.Fatal("distance matrix not deterministic")
+			}
+			if d1[i][j] != d1[j][i] {
+				t.Fatal("distance matrix not symmetric")
+			}
+			if i != j && (d1[i][j] < 1 || d1[i][j] > 99) {
+				t.Fatalf("weight out of range: %d", d1[i][j])
+			}
+		}
+		if d1[i][i] != 0 {
+			t.Fatal("nonzero diagonal")
+		}
+	}
+}
+
+func TestPrefixesCoverSearchSpace(t *testing.T) {
+	p := New(7, 1)
+	items := p.prefixes()
+	// 0 followed by ordered pairs of distinct cities 1..6: 6*5 = 30.
+	if len(items) != 30 {
+		t.Fatalf("prefixes = %d, want 30", len(items))
+	}
+	seen := map[[3]int32]bool{}
+	for _, it := range items {
+		if len(it) != 3 || it[0] != 0 || it[1] == it[2] || it[1] == 0 || it[2] == 0 {
+			t.Fatalf("bad prefix %v", it)
+		}
+		key := [3]int32{it[0], it[1], it[2]}
+		if seen[key] {
+			t.Fatalf("duplicate prefix %v", it)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGreedyTourIsValidUpperBound(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := New(9, seed)
+		d := p.distances()
+		greedy := greedyTour(d)
+		exact := p.referenceLength(d)
+		if greedy < exact {
+			t.Fatalf("seed %d: greedy %d below optimum %d", seed, greedy, exact)
+		}
+	}
+}
+
+func TestHeldKarpSmallInstances(t *testing.T) {
+	// 4-city instance solvable by hand: verify against brute force.
+	p := New(4, 5)
+	d := p.distances()
+	want := int32(1 << 30)
+	perms := [][]int{{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1}}
+	for _, perm := range perms {
+		total := d[0][perm[0]] + d[perm[0]][perm[1]] + d[perm[1]][perm[2]] + d[perm[2]][0]
+		if total < want {
+			want = total
+		}
+	}
+	if got := p.referenceLength(d); got != want {
+		t.Fatalf("held-karp = %d, brute force = %d", got, want)
+	}
+}
+
+func TestHeldKarpMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p := New(7, seed)
+		d := p.distances()
+		hk := p.referenceLength(d)
+		// Brute force over all 6! permutations.
+		best := int32(1 << 30)
+		cities := []int{1, 2, 3, 4, 5, 6}
+		var rec func(perm []int, rest []int)
+		rec = func(perm, rest []int) {
+			if len(rest) == 0 {
+				total := int32(0)
+				prev := 0
+				for _, c := range perm {
+					total += d[prev][c]
+					prev = c
+				}
+				total += d[prev][0]
+				if total < best {
+					best = total
+				}
+				return
+			}
+			for i, c := range rest {
+				nr := append(append([]int{}, rest[:i]...), rest[i+1:]...)
+				rec(append(perm, c), nr)
+			}
+		}
+		rec(nil, cities)
+		return hk == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReferenceLengthRefusesLargeInstances(t *testing.T) {
+	p := Paper() // 17 cities
+	if got := p.referenceLength(p.distances()); got != -1 {
+		t.Fatalf("expected -1 for 17 cities, got %d", got)
+	}
+}
+
+func TestPaperAndDefaultPresets(t *testing.T) {
+	if Paper().Cities != 17 {
+		t.Error("paper instance is 17 cities (§4.1)")
+	}
+	if d := Default(); d.Cities >= Paper().Cities || d.Cities < 8 {
+		t.Errorf("default cities = %d", d.Cities)
+	}
+	if New(10, 1).Name() != "tsp" {
+		t.Error("Name")
+	}
+}
+
+func TestGreedyTourVisitsEveryCityOnce(t *testing.T) {
+	// greedyTour must terminate and produce a positive length for random
+	// matrices of various sizes.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(12)
+		p := New(n, rng.Int63())
+		g := greedyTour(p.distances())
+		if g <= 0 || g >= inf {
+			t.Fatalf("greedy tour length %d for n=%d", g, n)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+func testCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := New(model.Myrinet200(), n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(model.Myrinet200(), 0, nil); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := New(model.Myrinet200(), 13, nil); err == nil {
+		t.Error("13 nodes accepted on a 12-node platform")
+	}
+	bad := model.Myrinet200()
+	bad.PageSize = 1000
+	if _, err := New(bad, 2, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestNodeIdentity(t *testing.T) {
+	c := testCluster(t, 4)
+	if c.Size() != 4 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	for i := 0; i < 4; i++ {
+		n := c.Node(i)
+		if n.ID() != i || n.Cluster() != c {
+			t.Fatalf("node %d identity broken", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range node")
+		}
+	}()
+	c.Node(4)
+}
+
+func TestRegisterAndServiceName(t *testing.T) {
+	c := testCluster(t, 2)
+	c.Register(7, "echo", func(call *Call) []byte { return call.Arg })
+	if c.ServiceName(7) != "echo" {
+		t.Errorf("ServiceName = %q", c.ServiceName(7))
+	}
+	if c.ServiceName(99) != "service#99" {
+		t.Errorf("unknown ServiceName = %q", c.ServiceName(99))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate registration")
+		}
+	}()
+	c.Register(7, "echo2", func(call *Call) []byte { return nil })
+}
+
+func TestRegisterNilHandlerPanics(t *testing.T) {
+	c := testCluster(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Register(1, "nil", nil)
+}
+
+func TestInvokeRoundTrip(t *testing.T) {
+	c := testCluster(t, 3)
+	c.Register(1, "double", func(call *Call) []byte {
+		v := binary.LittleEndian.Uint32(call.Arg)
+		out := make([]byte, 4)
+		binary.LittleEndian.PutUint32(out, v*2)
+		call.Clock.Advance(vtime.Micro(1)) // service cost
+		return out
+	})
+	clock := vtime.NewClock(0)
+	arg := make([]byte, 4)
+	binary.LittleEndian.PutUint32(arg, 21)
+	reply := c.Invoke(clock, 0, 2, 1, arg)
+	if got := binary.LittleEndian.Uint32(reply); got != 42 {
+		t.Fatalf("reply = %d", got)
+	}
+	// The round trip must cost at least two latencies plus the service
+	// time plus the overheads.
+	m := c.Config().Net
+	min := 2*(m.Latency+m.SendOverhead+m.RecvOverhead) + vtime.Micro(1)
+	if clock.Now() < vtime.Time(0).Add(min) {
+		t.Errorf("round trip took %v, want >= %v", clock.Now(), min)
+	}
+}
+
+func TestInvokeUnknownServicePanics(t *testing.T) {
+	c := testCluster(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Invoke(vtime.NewClock(0), 0, 1, 42, nil)
+}
+
+func TestNotifyOneWay(t *testing.T) {
+	c := testCluster(t, 2)
+	var got []byte
+	var handlerTime vtime.Time
+	c.Register(2, "store", func(call *Call) []byte {
+		got = append([]byte(nil), call.Arg...)
+		call.Clock.Advance(vtime.Micro(5))
+		handlerTime = call.Clock.Now()
+		return nil
+	})
+	clock := vtime.NewClock(0)
+	done := c.Notify(clock, 0, 1, 2, []byte{1, 2, 3})
+	if string(got) != string([]byte{1, 2, 3}) {
+		t.Fatalf("payload = %v", got)
+	}
+	if done != handlerTime {
+		t.Fatalf("Notify returned %v, handler finished at %v", done, handlerTime)
+	}
+	// Caller must be released well before the handler completes.
+	if clock.Now() >= done {
+		t.Errorf("one-way caller blocked until handler completion: %v >= %v", clock.Now(), done)
+	}
+}
+
+func TestHandlerSeesDeliveryTime(t *testing.T) {
+	c := testCluster(t, 2)
+	var seen vtime.Time
+	c.Register(3, "ts", func(call *Call) []byte {
+		seen = call.Clock.Now()
+		return nil
+	})
+	clock := vtime.NewClock(vtime.Time(vtime.Micro(100)))
+	c.Invoke(clock, 0, 1, 3, make([]byte, 64))
+	m := c.Config().Net
+	if seen <= vtime.Time(vtime.Micro(100)).Add(m.Latency) {
+		t.Errorf("handler clock %v not past caller time + latency", seen)
+	}
+}
+
+func TestHandlerContext(t *testing.T) {
+	c := testCluster(t, 4)
+	c.Register(4, "ctx", func(call *Call) []byte {
+		if call.Node.ID() != 3 || call.From != 1 {
+			t.Errorf("handler saw node=%d from=%d", call.Node.ID(), call.From)
+		}
+		return nil
+	})
+	c.Invoke(vtime.NewClock(0), 1, 3, 4, nil)
+}
+
+func TestNestedRPC(t *testing.T) {
+	c := testCluster(t, 3)
+	c.Register(5, "leaf", func(call *Call) []byte { return []byte{9} })
+	c.Register(6, "mid", func(call *Call) []byte {
+		// Handler on node 1 calls through to node 2.
+		return c.Invoke(call.Clock, call.Node.ID(), 2, 5, nil)
+	})
+	clock := vtime.NewClock(0)
+	if got := c.Invoke(clock, 0, 1, 6, nil); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("nested reply = %v", got)
+	}
+	m := c.Config().Net
+	if clock.Now() < vtime.Time(0).Add(4*m.Latency) {
+		t.Errorf("nested RPC should cost at least 4 latencies, got %v", clock.Now())
+	}
+}
+
+func TestRPCCounter(t *testing.T) {
+	var cnt stats.Counters
+	c, err := New(model.SCI450(), 2, &cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Register(1, "noop", func(*Call) []byte { return nil })
+	clock := vtime.NewClock(0)
+	c.Invoke(clock, 0, 1, 1, nil)
+	c.Notify(clock, 0, 1, 1, nil)
+	if got := cnt.Snapshot().RPCs; got != 2 {
+		t.Fatalf("RPCs = %d", got)
+	}
+	if c.Counters() != &cnt {
+		t.Fatal("Counters identity")
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	c := testCluster(t, 4)
+	var mu sync.Mutex
+	sum := 0
+	c.Register(1, "add", func(call *Call) []byte {
+		mu.Lock()
+		sum += int(call.Arg[0])
+		mu.Unlock()
+		return nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clock := vtime.NewClock(0)
+			for j := 0; j < 100; j++ {
+				c.Invoke(clock, i%4, (i+1)%4, 1, []byte{1})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if sum != 800 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

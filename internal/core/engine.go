@@ -1,0 +1,325 @@
+// Package core implements the paper's primary contribution: Hyperion's
+// memory subsystem — a home-based, page-granularity distributed shared
+// memory implementing Java consistency, with pluggable remote-object
+// access-detection protocols (the java_ic in-line-check protocol and the
+// java_pf page-fault protocol of §3).
+//
+// The package exposes the key DSM primitives of the paper's Table 2:
+//
+//	loadIntoCache     — Engine.LoadIntoCache
+//	invalidateCache   — Engine.InvalidateCache
+//	updateMainMemory  — Engine.UpdateMainMemory
+//	get               — Ctx.GetF64 / GetI32 / GetI64 / GetBytes ...
+//	put               — Ctx.PutF64 / PutI32 / PutI64 / PutBytes ...
+//
+// Objects are stored on pages located at the same virtual (global) address
+// on every node (iso-address scheme, package pages); each page has a home
+// node holding the reference copy. Pages are replicated into per-node
+// caches on access; monitor entry invalidates the node cache and monitor
+// exit ships field-granularity modification records to the home nodes,
+// per the Java Memory Model.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/pages"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// RPC service ids used by the memory subsystem.
+const (
+	svcFetchPage cluster.ServiceID = 1
+	svcApplyDiff cluster.ServiceID = 2
+)
+
+// nodeMem is the per-node state of the memory subsystem.
+type nodeMem struct {
+	home  *pages.Table // reference copies of pages homed here
+	cache *pages.Table // replicated copies of remote pages
+	log   *WriteLog    // pending modifications to remote pages
+
+	// fifo orders cached pages by arrival for capacity eviction.
+	fifoMu sync.Mutex
+	fifo   []pages.PageID
+}
+
+// Engine is the memory subsystem of one simulated Hyperion run.
+type Engine struct {
+	cl    *cluster.Cluster
+	space *pages.Space
+	alloc *pages.Allocator
+	costs model.DSMCosts
+	proto Protocol
+	nodes []*nodeMem
+	cnt   *stats.Counters
+
+	// tracer, when non-nil, records protocol events with virtual
+	// timestamps. Set once before the run via SetTracer.
+	tracer *trace.Buffer
+
+	// Precomputed durations (hot path).
+	checkCost  vtime.Duration
+	lookupCost vtime.Duration
+}
+
+// SetTracer attaches an event recorder. Call before spawning threads.
+func (e *Engine) SetTracer(b *trace.Buffer) { e.tracer = b }
+
+// Tracer returns the attached recorder, if any.
+func (e *Engine) Tracer() *trace.Buffer { return e.tracer }
+
+// traceEvent records an event when tracing is enabled.
+func (e *Engine) traceEvent(at vtime.Time, node int, kind trace.Kind, arg int64) {
+	if e.tracer != nil {
+		e.tracer.Record(at, node, kind, arg)
+	}
+}
+
+// NewEngine builds the memory subsystem for a cluster and binds the given
+// protocol to it.
+func NewEngine(cl *cluster.Cluster, costs model.DSMCosts, proto Protocol) *Engine {
+	cfg := cl.Config()
+	e := &Engine{
+		cl:    cl,
+		space: pages.NewSpace(cl.Size(), cfg.PageSize),
+		costs: costs,
+		proto: proto,
+		nodes: make([]*nodeMem, cl.Size()),
+		cnt:   cl.Counters(),
+	}
+	e.alloc = pages.NewAllocator(e.space)
+	for i := range e.nodes {
+		e.nodes[i] = &nodeMem{home: pages.NewTable(), cache: pages.NewTable(), log: &WriteLog{}}
+	}
+	e.checkCost = cfg.Machine.Cycles(cfg.Machine.CheckCycles)
+	e.lookupCost = cfg.Machine.Cycles(costs.CacheLookupCycles)
+
+	cl.Register(svcFetchPage, "dsm.fetchPage", e.handleFetchPage)
+	cl.Register(svcApplyDiff, "dsm.applyDiff", e.handleApplyDiff)
+	e.registerVolatileServices()
+	proto.Bind(e)
+	return e
+}
+
+// Cluster returns the underlying cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Space returns the paged global address space.
+func (e *Engine) Space() *pages.Space { return e.space }
+
+// Protocol returns the bound consistency protocol.
+func (e *Engine) Protocol() Protocol { return e.proto }
+
+// Costs returns the engine cost parameters.
+func (e *Engine) Costs() model.DSMCosts { return e.costs }
+
+// Machine returns the per-node machine model.
+func (e *Engine) Machine() model.Machine { return e.cl.Config().Machine }
+
+// Alloc reserves size bytes of shared memory homed at the given node with
+// the given alignment and installs zeroed reference frames for every page
+// the range touches. The accessing context is charged a small allocation
+// cost.
+func (e *Engine) Alloc(ctx *Ctx, homeNode, size, align int) (pages.Addr, error) {
+	addr, err := e.alloc.Alloc(homeNode, size, align)
+	if err != nil {
+		return 0, err
+	}
+	e.installHomeFrames(homeNode, addr, size)
+	ctx.clock.Advance(e.Machine().Cycles(60)) // allocator bookkeeping
+	return addr, nil
+}
+
+// AllocPageAligned is Alloc with page alignment, used for thread-owned
+// blocks so that different threads' data never shares a page.
+func (e *Engine) AllocPageAligned(ctx *Ctx, homeNode, size int) (pages.Addr, error) {
+	return e.Alloc(ctx, homeNode, size, e.space.PageSize())
+}
+
+func (e *Engine) installHomeFrames(node int, addr pages.Addr, size int) {
+	first := e.space.PageOf(addr)
+	last := e.space.PageOf(addr + pages.Addr(size-1))
+	home := e.nodes[node].home
+	for p := first; p <= last; p++ {
+		if f, _ := home.Lookup(p); f == nil {
+			home.Install(pages.NewFrame(p, e.space.PageSize(), pages.ReadWrite))
+		}
+	}
+}
+
+// homeFrame returns the reference frame of page p, which must exist.
+func (e *Engine) homeFrame(p pages.PageID) *pages.Frame {
+	h := e.space.Home(p)
+	f, _ := e.nodes[h].home.Lookup(p)
+	if f == nil {
+		panic(fmt.Sprintf("core: page %d has no home frame (unallocated address?)", p))
+	}
+	return f
+}
+
+// --- Table 2 primitives -------------------------------------------------
+
+// LoadIntoCache fetches page p from its home node into ctx's node cache
+// (the loadIntoCache primitive). The returned frame is installed with the
+// given access mode. The whole page travels, which gives the pre-fetching
+// effect for other objects on the same page noted in §3.1.
+func (e *Engine) LoadIntoCache(ctx *Ctx, p pages.PageID, access pages.Access) *pages.Frame {
+	home := e.space.Home(p)
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint64(req, uint64(p))
+	img := e.cl.Invoke(ctx.clock, ctx.node, home, svcFetchPage, req)
+	f := pages.NewFrame(p, e.space.PageSize(), access)
+	f.Load(img)
+	nm := e.nodes[ctx.node]
+	nm.cache.Install(f)
+	e.cnt.AddPageFetches(1)
+	e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFetch, int64(p))
+	if cap := e.costs.CacheCapacityPages; cap > 0 {
+		e.recordAndMaybeEvict(ctx, nm, p, cap)
+	}
+	return f
+}
+
+// recordAndMaybeEvict appends the fetched page to the node's FIFO and, if
+// the cache exceeds its capacity, evicts the oldest cached page. Pending
+// modifications are flushed home first (value-logged writes make this
+// safe), then the victim frame is dropped and the protocol charges its
+// unmapping cost.
+func (e *Engine) recordAndMaybeEvict(ctx *Ctx, nm *nodeMem, p pages.PageID, capacity int) {
+	var victim pages.PageID
+	evict := false
+	nm.fifoMu.Lock()
+	nm.fifo = append(nm.fifo, p)
+	if len(nm.fifo) > capacity {
+		victim, nm.fifo = nm.fifo[0], nm.fifo[1:]
+		evict = true
+	}
+	nm.fifoMu.Unlock()
+	if !evict || victim == p {
+		return
+	}
+	e.UpdateMainMemory(ctx)
+	if nm.cache.Drop(victim) {
+		e.cnt.AddInvalidations(1)
+		e.proto.OnInvalidate(ctx, 1)
+	}
+}
+
+// InvalidateCache drops every cached page on ctx's node (the
+// invalidateCache primitive, run on monitor entry) and returns the number
+// of entries dropped. The protocol's OnInvalidate hook charges its
+// re-protection or bookkeeping cost.
+func (e *Engine) InvalidateCache(ctx *Ctx) int {
+	nm := e.nodes[ctx.node]
+	nm.fifoMu.Lock()
+	nm.fifo = nm.fifo[:0]
+	nm.fifoMu.Unlock()
+	n := nm.cache.DropAll(nil)
+	ctx.invalidateFastPath()
+	e.cnt.AddInvalidations(int64(n))
+	e.proto.OnInvalidate(ctx, n)
+	e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvInvalidate, int64(n))
+	return n
+}
+
+// UpdateMainMemory ships all pending modification records of ctx's node
+// to the home nodes of the modified pages (the updateMainMemory
+// primitive, run on monitor exit). The RPCs are synchronous: Java
+// consistency requires the main memory to be up to date before the lock
+// is released.
+func (e *Engine) UpdateMainMemory(ctx *Ctx) {
+	groups := e.nodes[ctx.node].log.Take(e.space.Home)
+	if len(groups) == 0 {
+		return
+	}
+	mach := e.Machine()
+	for home, spans := range groups {
+		msg := encodeDiff(spans)
+		ctx.clock.Advance(vtime.Duration(float64(len(msg)) * e.costs.DiffPerByteCycles * float64(mach.Cycle())))
+		e.cl.Invoke(ctx.clock, ctx.node, home, svcApplyDiff, msg)
+		e.cnt.AddDiffMessage(int64(len(msg)))
+		e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFlush, int64(len(msg)))
+	}
+}
+
+// Acquire implements the memory semantics of monitor entry by delegating
+// to the bound protocol: the invalidation-based protocols flush pending
+// modifications and invalidate the node cache; the update-based protocol
+// refreshes cached pages instead.
+func (e *Engine) Acquire(ctx *Ctx) {
+	e.proto.Acquire(ctx)
+}
+
+// FlushAndInvalidate is the default acquire action shared by the
+// invalidation-based protocols: flush pending modifications (so no dirty
+// data is lost), then invalidate the node cache so subsequent reads
+// observe main memory.
+func (e *Engine) FlushAndInvalidate(ctx *Ctx) {
+	e.UpdateMainMemory(ctx)
+	e.InvalidateCache(ctx)
+}
+
+// RefreshCache re-fetches the content of every cached page from its home
+// without dropping the frames — the update-based acquire. The refreshed
+// copies are mapped READ/WRITE, so no faults follow.
+func (e *Engine) RefreshCache(ctx *Ctx) int {
+	nm := e.nodes[ctx.node]
+	var cached []pages.PageID
+	nm.cache.ForEach(func(f *pages.Frame) { cached = append(cached, f.Page()) })
+	for _, p := range cached {
+		home := e.space.Home(p)
+		req := make([]byte, 8)
+		binary.LittleEndian.PutUint64(req, uint64(p))
+		img := e.cl.Invoke(ctx.clock, ctx.node, home, svcFetchPage, req)
+		if f, _ := nm.cache.Lookup(p); f != nil {
+			f.Load(img)
+			f.SetAccess(pages.ReadWrite)
+		}
+		e.cnt.AddPageFetches(1)
+	}
+	return len(cached)
+}
+
+// Release implements the memory semantics of monitor exit: transmit all
+// local modifications to the central memory.
+func (e *Engine) Release(ctx *Ctx) {
+	e.UpdateMainMemory(ctx)
+}
+
+// --- RPC handlers (run at the page's home node) --------------------------
+
+func (e *Engine) handleFetchPage(call *cluster.Call) []byte {
+	p := pages.PageID(binary.LittleEndian.Uint64(call.Arg))
+	call.Clock.Advance(e.Machine().Cycles(e.costs.ServiceCycles))
+	return e.homeFrame(p).Snapshot()
+}
+
+func (e *Engine) handleApplyDiff(call *cluster.Call) []byte {
+	spans, err := decodeDiff(call.Arg)
+	if err != nil {
+		panic(err) // a malformed diff is a bug in the engine itself
+	}
+	mach := e.Machine()
+	call.Clock.Advance(mach.Cycles(e.costs.ServiceCycles))
+	call.Clock.Advance(vtime.Duration(float64(len(call.Arg)) * e.costs.DiffPerByteCycles * float64(mach.Cycle())))
+	for _, s := range spans {
+		e.homeFrame(s.page).Write(s.off, s.data)
+	}
+	return nil
+}
+
+// CacheLen reports the number of cached pages on a node (for tests and
+// diagnostics).
+func (e *Engine) CacheLen(node int) int { return e.nodes[node].cache.Len() }
+
+// PendingWrites reports the pending modification records on a node.
+func (e *Engine) PendingWrites(node int) (records, bytes int) {
+	return e.nodes[node].log.Pending()
+}

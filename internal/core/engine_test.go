@@ -1,0 +1,312 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/pages"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// newTestEngine builds an engine on n Myrinet nodes with the named
+// protocol.
+func newTestEngine(t *testing.T, n int, protoName string) *Engine {
+	t.Helper()
+	cl, err := cluster.New(model.Myrinet200(), n, &stats.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewProtocol(protoName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(cl, model.DefaultDSMCosts(), proto)
+}
+
+func TestProtocolRegistry(t *testing.T) {
+	names := ProtocolNames()
+	want := map[string]bool{"java_ic": false, "java_pf": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("protocol %q not registered", n)
+		}
+	}
+	if _, err := NewProtocol("bogus"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	p, err := NewProtocol("java_pf")
+	if err != nil || p.Name() != "java_pf" {
+		t.Errorf("NewProtocol(java_pf) = %v, %v", p, err)
+	}
+}
+
+func TestRegisterProtocolDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RegisterProtocol("java_ic", func() Protocol { return &JavaIC{} })
+}
+
+func TestAllocInstallsHomeFrames(t *testing.T) {
+	e := newTestEngine(t, 2, "java_ic")
+	ctx := e.NewCtx(0, 0)
+	addr, err := e.Alloc(ctx, 1, 3*e.Space().PageSize(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Space().HomeOf(addr) != 1 {
+		t.Fatalf("home = %d", e.Space().HomeOf(addr))
+	}
+	// All three (or four, if unaligned) pages must have home frames.
+	first := e.Space().PageOf(addr)
+	last := e.Space().PageOf(addr + 3*4096 - 1)
+	for p := first; p <= last; p++ {
+		if e.homeFrame(p) == nil {
+			t.Fatalf("page %d missing home frame", p)
+		}
+	}
+}
+
+func TestLocalReadWriteRoundTrip(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		e := newTestEngine(t, 2, proto)
+		ctx := e.NewCtx(0, 0)
+		addr, err := e.Alloc(ctx, 0, 64, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.PutF64(addr, 3.25)
+		ctx.PutI32(addr+8, -7)
+		ctx.PutI64(addr+16, 1<<40)
+		ctx.PutU8(addr+24, 0xAB)
+		if got := ctx.GetF64(addr); got != 3.25 {
+			t.Errorf("%s: GetF64 = %v", proto, got)
+		}
+		if got := ctx.GetI32(addr + 8); got != -7 {
+			t.Errorf("%s: GetI32 = %v", proto, got)
+		}
+		if got := ctx.GetI64(addr + 16); got != 1<<40 {
+			t.Errorf("%s: GetI64 = %v", proto, got)
+		}
+		if got := ctx.GetU8(addr + 24); got != 0xAB {
+			t.Errorf("%s: GetU8 = %v", proto, got)
+		}
+	}
+}
+
+func TestRemoteReadSeesHomeData(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		e := newTestEngine(t, 2, proto)
+		home := e.NewCtx(1, 0)
+		addr, err := e.Alloc(home, 1, 16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		home.PutF64(addr, 42.5)
+
+		remote := e.NewCtx(0, 0)
+		if got := remote.GetF64(addr); got != 42.5 {
+			t.Errorf("%s: remote read = %v", proto, got)
+		}
+		if e.CacheLen(0) != 1 {
+			t.Errorf("%s: cache should hold the fetched page", proto)
+		}
+	}
+}
+
+func TestRemoteWriteFlushVisibleAtHome(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		e := newTestEngine(t, 2, proto)
+		home := e.NewCtx(0, 0)
+		addr, err := e.Alloc(home, 0, 16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote := e.NewCtx(1, 0)
+		remote.PutI64(addr, 777)
+		// Before the flush, the home copy is stale.
+		if got := home.GetI64(addr); got != 0 {
+			t.Errorf("%s: home saw unflushed write: %d", proto, got)
+		}
+		if rec, _ := e.PendingWrites(1); rec == 0 {
+			t.Errorf("%s: remote write not recorded", proto)
+		}
+		e.UpdateMainMemory(remote)
+		if got := home.GetI64(addr); got != 777 {
+			t.Errorf("%s: home read after flush = %d", proto, got)
+		}
+		if rec, _ := e.PendingWrites(1); rec != 0 {
+			t.Errorf("%s: log not cleared by flush", proto)
+		}
+	}
+}
+
+func TestAcquireInvalidatesAndRefetches(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		e := newTestEngine(t, 2, proto)
+		home := e.NewCtx(0, 0)
+		addr, _ := e.Alloc(home, 0, 16, 8)
+		home.PutI32(addr, 1)
+
+		remote := e.NewCtx(1, 0)
+		if got := remote.GetI32(addr); got != 1 {
+			t.Fatalf("%s: initial remote read = %d", proto, got)
+		}
+		// Home updates the value; without synchronization the remote
+		// node keeps reading its cached copy.
+		home.PutI32(addr, 2)
+		if got := remote.GetI32(addr); got != 1 {
+			t.Errorf("%s: cached read should still be 1, got %d", proto, got)
+		}
+		// Monitor entry invalidates the cache; the next read refetches.
+		e.Acquire(remote)
+		if e.CacheLen(1) != 0 {
+			t.Errorf("%s: cache not emptied by Acquire", proto)
+		}
+		if got := remote.GetI32(addr); got != 2 {
+			t.Errorf("%s: post-acquire read = %d, want 2", proto, got)
+		}
+	}
+}
+
+func TestAcquireFlushesBeforeInvalidating(t *testing.T) {
+	// A node's own writes must survive its monitor entry (JMM: a thread
+	// always sees its own writes).
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		e := newTestEngine(t, 2, proto)
+		home := e.NewCtx(0, 0)
+		addr, _ := e.Alloc(home, 0, 16, 8)
+
+		remote := e.NewCtx(1, 0)
+		remote.PutI64(addr, 123)
+		e.Acquire(remote) // flush + invalidate
+		if got := remote.GetI64(addr); got != 123 {
+			t.Errorf("%s: lost own write across Acquire: %d", proto, got)
+		}
+	}
+}
+
+func TestReleaseFlushes(t *testing.T) {
+	e := newTestEngine(t, 2, "java_pf")
+	home := e.NewCtx(0, 0)
+	addr, _ := e.Alloc(home, 0, 16, 8)
+	remote := e.NewCtx(1, 0)
+	remote.PutI64(addr, 9)
+	e.Release(remote)
+	if got := home.GetI64(addr); got != 9 {
+		t.Fatalf("home read = %d", got)
+	}
+	if cnt := e.Cluster().Counters().Snapshot(); cnt.DiffMessages != 1 {
+		t.Fatalf("diff messages = %d", cnt.DiffMessages)
+	}
+}
+
+func TestFieldGranularityMerge(t *testing.T) {
+	// Two nodes write different fields of the same page; both flushes
+	// must merge at the home without clobbering each other. This is the
+	// object-field granularity property of §3.1.
+	e := newTestEngine(t, 3, "java_ic")
+	home := e.NewCtx(0, 0)
+	addr, _ := e.Alloc(home, 0, 64, 8)
+
+	a := e.NewCtx(1, 0)
+	b := e.NewCtx(2, 0)
+	a.PutI64(addr, 111)   // field 0
+	b.PutI64(addr+8, 222) // field 1
+	e.UpdateMainMemory(a)
+	e.UpdateMainMemory(b)
+	if got := home.GetI64(addr); got != 111 {
+		t.Errorf("field 0 = %d", got)
+	}
+	if got := home.GetI64(addr + 8); got != 222 {
+		t.Errorf("field 1 = %d", got)
+	}
+}
+
+func TestBulkGetPutAcrossPages(t *testing.T) {
+	e := newTestEngine(t, 2, "java_pf")
+	ctx := e.NewCtx(0, 0)
+	n := e.Space().PageSize() + 100
+	addr, err := e.AllocPageAligned(ctx, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	ctx.PutBytes(addr, src)
+	e.UpdateMainMemory(ctx)
+
+	other := e.NewCtx(1, 0)
+	dst := make([]byte, n)
+	other.GetBytes(addr, dst)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestAccessPanics(t *testing.T) {
+	e := newTestEngine(t, 2, "java_ic")
+	ctx := e.NewCtx(0, 0)
+	addr, _ := e.Alloc(ctx, 0, 16, 8)
+	straddle := addr + pages.Addr(e.Space().PageSize()-4) - pages.Addr(e.Space().Offset(addr))
+	for name, fn := range map[string]func(){
+		"nil address":   func() { ctx.GetI32(0) },
+		"page straddle": func() { ctx.GetF64(straddle) },
+		"bad ctx node":  func() { e.NewCtx(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestComputeCharges(t *testing.T) {
+	e := newTestEngine(t, 1, "java_pf")
+	ctx := e.NewCtx(0, 0)
+	t0 := ctx.Clock().Now()
+	ctx.Compute(200, 1) // 200 cycles @5ns + 180ns mem = 1000 + 180 ns
+	want := vtime.Duration(200)*e.Machine().Cycle() + e.Machine().MemLatency
+	if got := ctx.Clock().Now().Sub(t0); got != want {
+		t.Fatalf("Compute charged %v, want %v", got, want)
+	}
+}
+
+func TestFastPathInvalidatedByEpoch(t *testing.T) {
+	e := newTestEngine(t, 2, "java_pf")
+	home := e.NewCtx(0, 0)
+	addr, _ := e.Alloc(home, 0, 16, 8)
+	home.PutI32(addr, 5)
+
+	remote := e.NewCtx(1, 0)
+	if remote.GetI32(addr) != 5 {
+		t.Fatal("first read")
+	}
+	before := e.Cluster().Counters().Snapshot().PageFaults
+	_ = remote.GetI32(addr) // fast path: no new fault
+	if got := e.Cluster().Counters().Snapshot().PageFaults; got != before {
+		t.Fatalf("fast-path read faulted (%d -> %d)", before, got)
+	}
+	e.InvalidateCache(remote)
+	_ = remote.GetI32(addr) // must fault again
+	if got := e.Cluster().Counters().Snapshot().PageFaults; got != before+1 {
+		t.Fatalf("post-invalidation read did not fault (%d -> %d)", before, got)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func newCappedEngine(t *testing.T, capacity int, proto string) *Engine {
+	t.Helper()
+	cl, err := cluster.New(model.Myrinet200(), 2, &stats.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProtocol(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := model.DefaultDSMCosts()
+	costs.CacheCapacityPages = capacity
+	return NewEngine(cl, costs, p)
+}
+
+func TestEvictionBoundsCacheSize(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		e := newCappedEngine(t, 3, proto)
+		home := e.NewCtx(1, 0)
+		ps := e.Space().PageSize()
+		addr, _ := e.AllocPageAligned(home, 1, 10*ps)
+
+		remote := e.NewCtx(0, 0)
+		for i := 0; i < 10; i++ {
+			remote.GetI64(addr + pagesAddrMul(i, ps))
+		}
+		if got := e.CacheLen(0); got > 3 {
+			t.Fatalf("%s: cache holds %d pages, capacity 3", proto, got)
+		}
+		if got := e.Cluster().Counters().Snapshot().Invalidations; got < 7 {
+			t.Fatalf("%s: evictions = %d, want >= 7", proto, got)
+		}
+	}
+}
+
+func TestEvictionPreservesOwnWrites(t *testing.T) {
+	// A thread writes a remote page, then streams through enough other
+	// pages to evict it. Its next read of the page must still see its
+	// own write (flushed home by the eviction).
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		e := newCappedEngine(t, 2, proto)
+		home := e.NewCtx(1, 0)
+		ps := e.Space().PageSize()
+		addr, _ := e.AllocPageAligned(home, 1, 8*ps)
+
+		remote := e.NewCtx(0, 0)
+		remote.PutI64(addr, 4242) // dirty page 0
+		for i := 1; i < 8; i++ {
+			remote.GetI64(addr + pagesAddrMul(i, ps)) // evicts page 0
+		}
+		if got := remote.GetI64(addr); got != 4242 {
+			t.Fatalf("%s: lost own write across eviction: %d", proto, got)
+		}
+		// The write must also be visible at home.
+		if got := home.GetI64(addr); got != 4242 {
+			t.Fatalf("%s: home missing flushed write: %d", proto, got)
+		}
+	}
+}
+
+func TestEvictedPageRefetchesFreshData(t *testing.T) {
+	e := newCappedEngine(t, 1, "java_pf")
+	home := e.NewCtx(1, 0)
+	ps := e.Space().PageSize()
+	addr, _ := e.AllocPageAligned(home, 1, 4*ps)
+	home.PutI32(addr, 1)
+
+	remote := e.NewCtx(0, 0)
+	if remote.GetI32(addr) != 1 {
+		t.Fatal("initial read")
+	}
+	remote.GetI32(addr + pagesAddrMul(1, ps)) // evicts page 0
+	home.PutI32(addr, 2)                      // home updates meanwhile
+	if got := remote.GetI32(addr); got != 2 {
+		t.Fatalf("re-read after eviction = %d, want a fresh fetch (2)", got)
+	}
+}
+
+func TestUnlimitedCacheNeverEvicts(t *testing.T) {
+	e := newCappedEngine(t, 0, "java_ic") // 0 = unlimited
+	home := e.NewCtx(1, 0)
+	ps := e.Space().PageSize()
+	addr, _ := e.AllocPageAligned(home, 1, 20*ps)
+	remote := e.NewCtx(0, 0)
+	for i := 0; i < 20; i++ {
+		remote.GetI64(addr + pagesAddrMul(i, ps))
+	}
+	if got := e.CacheLen(0); got != 20 {
+		t.Fatalf("cache holds %d pages, want all 20", got)
+	}
+	if got := e.Cluster().Counters().Snapshot().Invalidations; got != 0 {
+		t.Fatalf("unlimited cache evicted %d pages", got)
+	}
+}
+
+func TestInvalidateResetsEvictionFIFO(t *testing.T) {
+	e := newCappedEngine(t, 2, "java_pf")
+	home := e.NewCtx(1, 0)
+	ps := e.Space().PageSize()
+	addr, _ := e.AllocPageAligned(home, 1, 6*ps)
+	remote := e.NewCtx(0, 0)
+	remote.GetI64(addr)
+	remote.GetI64(addr + pagesAddrMul(1, ps))
+	e.InvalidateCache(remote)
+	// After invalidation the FIFO must be empty: two fresh fetches fit
+	// without eviction.
+	before := e.Cluster().Counters().Snapshot().Invalidations
+	remote.GetI64(addr + pagesAddrMul(2, ps))
+	remote.GetI64(addr + pagesAddrMul(3, ps))
+	if got := e.Cluster().Counters().Snapshot().Invalidations - before; got != 0 {
+		t.Fatalf("stale FIFO caused %d evictions after invalidation", got)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pages"
+)
+
+func TestUPRegistered(t *testing.T) {
+	p, err := NewProtocol("java_up")
+	if err != nil || p.Name() != "java_up" {
+		t.Fatalf("java_up: %v, %v", p, err)
+	}
+}
+
+func TestUPAcquireRefreshesInsteadOfInvalidating(t *testing.T) {
+	e := newTestEngine2(t, 2, "java_up")
+	home := e.NewCtx(0, 0)
+	addr, _ := e.Alloc(home, 0, 16, 8)
+	home.PutI32(addr, 1)
+
+	remote := e.NewCtx(1, 0)
+	if remote.GetI32(addr) != 1 {
+		t.Fatal("initial read")
+	}
+	home.PutI32(addr, 2)
+
+	before := e.Cluster().Counters().Snapshot()
+	e.Acquire(remote)
+	after := e.Cluster().Counters().Snapshot()
+
+	// The cache must still hold the page (refreshed, not dropped)...
+	if e.CacheLen(1) != 1 {
+		t.Fatalf("cache emptied by update-based acquire (%d pages)", e.CacheLen(1))
+	}
+	// ...with the new content fetched during the acquire...
+	if d := after.PageFetches - before.PageFetches; d != 1 {
+		t.Fatalf("refresh fetched %d pages, want 1", d)
+	}
+	if got := remote.GetI32(addr); got != 2 {
+		t.Fatalf("post-acquire read = %d, want refreshed 2", got)
+	}
+	// ...and no fault was needed for the re-read.
+	if d := e.Cluster().Counters().Snapshot().PageFaults - before.PageFaults; d != 0 {
+		t.Fatalf("%d faults after update-based acquire, want 0", d)
+	}
+}
+
+func TestUPFlushesBeforeRefresh(t *testing.T) {
+	// Own writes must reach home before the refresh overwrites the local
+	// copy, or the thread would lose them.
+	e := newTestEngine2(t, 2, "java_up")
+	home := e.NewCtx(0, 0)
+	addr, _ := e.Alloc(home, 0, 16, 8)
+
+	remote := e.NewCtx(1, 0)
+	remote.PutI64(addr, 1234)
+	e.Acquire(remote)
+	if got := remote.GetI64(addr); got != 1234 {
+		t.Fatalf("lost own write across update-based acquire: %d", got)
+	}
+	if got := home.GetI64(addr); got != 1234 {
+		t.Fatalf("home missing flushed write: %d", got)
+	}
+}
+
+func TestUPBeatsPFWhenCachedSetIsHot(t *testing.T) {
+	// A workload that re-reads the same remote page after every acquire:
+	// the refresh pays one fetch either way, but java_pf adds a fault +
+	// two mprotects per cycle.
+	measure := func(proto string) int64 {
+		e := newTestEngine2(t, 2, proto)
+		home := e.NewCtx(0, 0)
+		addr, _ := e.Alloc(home, 0, 16, 8)
+		home.PutI64(addr, 7)
+		remote := e.NewCtx(1, 0)
+		remote.GetI64(addr)
+		t0 := remote.Clock().Now()
+		for i := 0; i < 50; i++ {
+			e.Acquire(remote)
+			remote.GetI64(addr)
+		}
+		return int64(remote.Clock().Now() - t0)
+	}
+	up, pf := measure("java_up"), measure("java_pf")
+	if up >= pf {
+		t.Fatalf("java_up (%d) should beat java_pf (%d) on a hot cached set", up, pf)
+	}
+}
+
+func TestUPPaysForColdCachedSet(t *testing.T) {
+	// The flip side: pages cached once and never touched again still get
+	// refreshed on every acquire.
+	e := newTestEngine2(t, 2, "java_up")
+	home := e.NewCtx(0, 0)
+	ps := e.Space().PageSize()
+	addr, _ := e.AllocPageAligned(home, 0, 8*ps)
+	remote := e.NewCtx(1, 0)
+	for i := 0; i < 8; i++ {
+		remote.GetI64(addr + pages.Addr(i*ps))
+	}
+	before := e.Cluster().Counters().Snapshot().PageFetches
+	e.Acquire(remote)
+	if d := e.Cluster().Counters().Snapshot().PageFetches - before; d != 8 {
+		t.Fatalf("refresh fetched %d pages, want all 8 cached ones", d)
+	}
+}
+
+// newTestEngine2 mirrors newTestEngine (engine_test.go) but avoids the
+// name to keep the files independent.
+func newTestEngine2(t *testing.T, n int, protoName string) *Engine {
+	t.Helper()
+	return newTestEngine(t, n, protoName)
+}

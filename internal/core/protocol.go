@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pages"
+	"repro/internal/vtime"
+)
+
+// Protocol is a Java-consistency protocol with a particular
+// remote-object access-detection mechanism. The engine drives the common
+// machinery (caching, diff shipping, invalidation); the protocol decides
+// how an access discovers that its target is remote and what that
+// discovery costs — the exact design axis studied in the paper.
+type Protocol interface {
+	// Name identifies the protocol ("java_ic", "java_pf", ...).
+	Name() string
+
+	// Bind attaches the protocol to an engine. Called exactly once, by
+	// NewEngine.
+	Bind(e *Engine)
+
+	// FastCost is the per-access cost charged when the per-thread fast
+	// path resolves the page (the steady-state cost of an access to
+	// already-located data): the in-line check for java_ic, nothing for
+	// java_pf.
+	FastCost() vtime.Duration
+
+	// Access resolves the frame for page p on the slow path (fast-path
+	// miss), charging detection and fetch costs to ctx.
+	Access(ctx *Ctx, p pages.PageID, isHome bool) *pages.Frame
+
+	// Acquire performs the protocol's monitor-entry memory actions.
+	// The invalidation-based protocols flush pending modifications and
+	// drop the node cache; the update-based protocol refreshes cached
+	// pages in place.
+	Acquire(ctx *Ctx)
+
+	// OnInvalidate charges the protocol's cost for an invalidation that
+	// dropped n cache entries (re-protection for java_pf, table
+	// clearing for java_ic).
+	OnInvalidate(ctx *Ctx, n int)
+
+	// OnCtxClose folds a closing context's local statistics into the
+	// global counters.
+	OnCtxClose(ctx *Ctx)
+}
+
+// protocolRegistry maps names to constructors so tools can select a
+// protocol by flag.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Protocol{}
+)
+
+// RegisterProtocol makes a protocol constructor available by name.
+func RegisterProtocol(name string, ctor func() Protocol) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: protocol %q registered twice", name))
+	}
+	registry[name] = ctor
+}
+
+// NewProtocol instantiates a registered protocol by name.
+func NewProtocol(name string) (Protocol, error) {
+	registryMu.RLock()
+	ctor, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown protocol %q (have %v)", name, ProtocolNames())
+	}
+	return ctor(), nil
+}
+
+// ProtocolNames lists the registered protocol names, sorted.
+func ProtocolNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterProtocol("java_ic", func() Protocol { return &JavaIC{} })
+	RegisterProtocol("java_pf", func() Protocol { return &JavaPF{} })
+	RegisterProtocol("java_up", func() Protocol { return &JavaUP{} })
+}

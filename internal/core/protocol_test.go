@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pages"
+	"repro/internal/vtime"
+)
+
+func TestICChargesCheckOnEveryAccess(t *testing.T) {
+	e := newTestEngine(t, 1, "java_ic")
+	ctx := e.NewCtx(0, 0)
+	addr, _ := e.Alloc(ctx, 0, 64, 8)
+	t0 := ctx.Clock().Now()
+	const n = 100
+	for i := 0; i < n; i++ {
+		ctx.GetI64(addr)
+	}
+	elapsed := ctx.Clock().Now().Sub(t0)
+	wantMin := vtime.Duration(n) * e.Machine().Cycles(e.Machine().CheckCycles)
+	if elapsed < wantMin {
+		t.Fatalf("ic charged %v for %d local accesses, want >= %v", elapsed, n, wantMin)
+	}
+	ctx.Close()
+	if got := e.Cluster().Counters().Snapshot().LocalityChecks; got < n {
+		t.Fatalf("locality checks = %d, want >= %d", got, n)
+	}
+}
+
+func TestPFLocalAccessesAreFree(t *testing.T) {
+	e := newTestEngine(t, 1, "java_pf")
+	ctx := e.NewCtx(0, 0)
+	addr, _ := e.Alloc(ctx, 0, 64, 8)
+	ctx.GetI64(addr) // slow path once
+	t0 := ctx.Clock().Now()
+	for i := 0; i < 100; i++ {
+		ctx.GetI64(addr)
+	}
+	if elapsed := ctx.Clock().Now().Sub(t0); elapsed != 0 {
+		t.Fatalf("pf charged %v for local fast-path accesses, want 0", elapsed)
+	}
+	ctx.Close()
+	s := e.Cluster().Counters().Snapshot()
+	if s.LocalityChecks != 0 || s.PageFaults != 0 || s.MprotectCalls != 0 {
+		t.Fatalf("pf local run produced %v", s)
+	}
+}
+
+func TestPFRemoteLoadCostsFaultPlusMprotect(t *testing.T) {
+	e := newTestEngine(t, 2, "java_pf")
+	home := e.NewCtx(1, 0)
+	addr, _ := e.Alloc(home, 1, 16, 8)
+
+	remote := e.NewCtx(0, 0)
+	t0 := remote.Clock().Now()
+	remote.GetI64(addr)
+	elapsed := remote.Clock().Now().Sub(t0)
+	m := e.Machine()
+	if elapsed < m.PageFault+m.Mprotect {
+		t.Fatalf("remote load cost %v, want >= fault(%v)+mprotect(%v)", elapsed, m.PageFault, m.Mprotect)
+	}
+	s := e.Cluster().Counters().Snapshot()
+	if s.PageFaults != 1 || s.MprotectCalls != 1 || s.PageFetches != 1 {
+		t.Fatalf("counters after one remote load: %v", s)
+	}
+}
+
+func TestICRemoteLoadCheaperThanPF(t *testing.T) {
+	// §3.2: java_ic's miss path saves the fault and mprotect costs; its
+	// price is paid per access instead.
+	load := func(proto string) vtime.Duration {
+		e := newTestEngine(t, 2, proto)
+		home := e.NewCtx(1, 0)
+		addr, _ := e.Alloc(home, 1, 16, 8)
+		remote := e.NewCtx(0, 0)
+		t0 := remote.Clock().Now()
+		remote.GetI64(addr)
+		return remote.Clock().Now().Sub(t0)
+	}
+	ic, pf := load("java_ic"), load("java_pf")
+	if ic >= pf {
+		t.Fatalf("ic remote load (%v) should be cheaper than pf (%v)", ic, pf)
+	}
+	if pf-ic < vtime.Micro(20) {
+		t.Fatalf("pf should pay ~fault+mprotect more; diff = %v", pf-ic)
+	}
+}
+
+func TestPFInvalidationChargesMprotectPerPage(t *testing.T) {
+	e := newTestEngine(t, 2, "java_pf")
+	home := e.NewCtx(1, 0)
+	ps := e.Space().PageSize()
+	addr, _ := e.AllocPageAligned(home, 1, 4*ps)
+
+	remote := e.NewCtx(0, 0)
+	for i := 0; i < 4; i++ {
+		remote.GetI64(addr + pagesAddrMul(i, ps))
+	}
+	if e.CacheLen(0) != 4 {
+		t.Fatalf("cache pages = %d", e.CacheLen(0))
+	}
+	before := e.Cluster().Counters().Snapshot().MprotectCalls
+	t0 := remote.Clock().Now()
+	e.InvalidateCache(remote)
+	if got := e.Cluster().Counters().Snapshot().MprotectCalls - before; got != 4 {
+		t.Fatalf("invalidation mprotect calls = %d, want 4", got)
+	}
+	if cost := remote.Clock().Now().Sub(t0); cost < 4*e.Machine().Mprotect {
+		t.Fatalf("invalidation charged %v, want >= %v", cost, 4*e.Machine().Mprotect)
+	}
+}
+
+func TestICInvalidationIsCheap(t *testing.T) {
+	e := newTestEngine(t, 2, "java_ic")
+	home := e.NewCtx(1, 0)
+	ps := e.Space().PageSize()
+	addr, _ := e.AllocPageAligned(home, 1, 4*ps)
+	remote := e.NewCtx(0, 0)
+	for i := 0; i < 4; i++ {
+		remote.GetI64(addr + pagesAddrMul(i, ps))
+	}
+	t0 := remote.Clock().Now()
+	e.InvalidateCache(remote)
+	if cost := remote.Clock().Now().Sub(t0); cost >= e.Machine().Mprotect {
+		t.Fatalf("ic invalidation charged %v, should be far below one mprotect (%v)", cost, e.Machine().Mprotect)
+	}
+	if got := e.Cluster().Counters().Snapshot().MprotectCalls; got != 0 {
+		t.Fatalf("ic performed %d mprotect calls", got)
+	}
+}
+
+// Property: under both protocols, an arbitrary interleaving of writes on
+// one remote node followed by a flush yields identical home contents —
+// the protocols must agree on program semantics and differ only in cost.
+func TestProtocolEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Off uint8
+		Val int32
+	}
+	f := func(ops []op) bool {
+		images := make([][]byte, 0, 2)
+		for _, proto := range []string{"java_ic", "java_pf"} {
+			e := newTestEngine(t, 2, proto)
+			home := e.NewCtx(1, 0)
+			addr, err := e.Alloc(home, 1, 1024, 8)
+			if err != nil {
+				return false
+			}
+			remote := e.NewCtx(0, 0)
+			for _, o := range ops {
+				remote.PutI32(addr+pagesAddrMul(int(o.Off%250), 4), o.Val)
+			}
+			e.Release(remote)
+			img := make([]byte, 1024)
+			home.GetBytes(addr, img)
+			images = append(images, img)
+		}
+		for i := range images[0] {
+			if images[0][i] != images[1][i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pagesAddrMul returns i*stride as an address delta.
+func pagesAddrMul(i, stride int) pages.Addr { return pages.Addr(i * stride) }

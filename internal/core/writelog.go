@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pages"
+)
+
+// span is one field-granularity modification record: the bytes written at
+// an offset of a page. Hyperion records modifications "at the moment when
+// they are carried out, with object-field granularity" (§3.1) via the put
+// primitive; these records are what updateMainMemory ships to home nodes.
+type span struct {
+	page pages.PageID
+	off  int
+	data []byte
+}
+
+// WriteLog accumulates the modifications made on one node to pages homed
+// elsewhere. It is node-level (not thread-level) because Hyperion caches
+// are per node: any thread's monitor operation flushes the node's pending
+// modifications. Safe for concurrent use.
+type WriteLog struct {
+	mu    sync.Mutex
+	spans []span
+	bytes int
+}
+
+// Record logs a write of data at off within page p. Consecutive writes
+// extending the previous record (the common pattern of a loop filling an
+// array) are coalesced in place.
+func (w *WriteLog) Record(p pages.PageID, off int, data []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.spans); n > 0 {
+		last := &w.spans[n-1]
+		if last.page == p && last.off+len(last.data) == off {
+			last.data = append(last.data, data...)
+			w.bytes += len(data)
+			return
+		}
+	}
+	w.spans = append(w.spans, span{page: p, off: off, data: append([]byte(nil), data...)})
+	w.bytes += len(data)
+}
+
+// Take removes and returns all pending records, grouped by page home
+// node. The homeOf function maps a page to its home.
+func (w *WriteLog) Take(homeOf func(pages.PageID) int) map[int][]span {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.spans) == 0 {
+		return nil
+	}
+	out := make(map[int][]span)
+	for _, s := range w.spans {
+		h := homeOf(s.page)
+		out[h] = append(out[h], s)
+	}
+	w.spans = nil
+	w.bytes = 0
+	return out
+}
+
+// Pending reports the number of pending records and payload bytes.
+func (w *WriteLog) Pending() (records, bytes int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.spans), w.bytes
+}
+
+// encodeDiff serializes a batch of spans into one applyDiff message:
+//
+//	u32 count | count x ( u64 page | u32 off | u32 len | len bytes )
+//
+// Spans are sorted (page, offset) so encoding is deterministic.
+func encodeDiff(spans []span) []byte {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].page != spans[j].page {
+			return spans[i].page < spans[j].page
+		}
+		return spans[i].off < spans[j].off
+	})
+	size := 4
+	for _, s := range spans {
+		size += 16 + len(s.data)
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(spans)))
+	p := 4
+	for _, s := range spans {
+		binary.LittleEndian.PutUint64(buf[p:], uint64(s.page))
+		binary.LittleEndian.PutUint32(buf[p+8:], uint32(s.off))
+		binary.LittleEndian.PutUint32(buf[p+12:], uint32(len(s.data)))
+		copy(buf[p+16:], s.data)
+		p += 16 + len(s.data)
+	}
+	return buf
+}
+
+// decodeDiff parses an applyDiff message back into spans. The returned
+// spans alias buf.
+func decodeDiff(buf []byte) ([]span, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("core: diff message truncated (%d bytes)", len(buf))
+	}
+	count := int(binary.LittleEndian.Uint32(buf))
+	p := 4
+	out := make([]span, 0, count)
+	for i := 0; i < count; i++ {
+		if len(buf)-p < 16 {
+			return nil, fmt.Errorf("core: diff record %d header truncated", i)
+		}
+		pg := pages.PageID(binary.LittleEndian.Uint64(buf[p:]))
+		off := int(binary.LittleEndian.Uint32(buf[p+8:]))
+		n := int(binary.LittleEndian.Uint32(buf[p+12:]))
+		p += 16
+		if len(buf)-p < n {
+			return nil, fmt.Errorf("core: diff record %d payload truncated", i)
+		}
+		out = append(out, span{page: pg, off: off, data: buf[p : p+n]})
+		p += n
+	}
+	return out, nil
+}

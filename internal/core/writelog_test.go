@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pages"
+)
+
+func TestWriteLogRecordAndTake(t *testing.T) {
+	var w WriteLog
+	w.Record(1, 0, []byte{1, 2})
+	w.Record(1, 2, []byte{3, 4}) // extends the previous record
+	w.Record(2, 100, []byte{9})
+	rec, b := w.Pending()
+	if rec != 2 || b != 5 {
+		t.Fatalf("pending = %d records / %d bytes, want 2/5", rec, b)
+	}
+	homeOf := func(p pages.PageID) int { return int(p) % 2 }
+	groups := w.Take(homeOf)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if got := groups[1][0].data; !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("coalesced span = %v", got)
+	}
+	if got := groups[0][0]; got.page != 2 || got.off != 100 {
+		t.Fatalf("span = %+v", got)
+	}
+	if rec, _ := w.Pending(); rec != 0 {
+		t.Fatal("Take did not clear the log")
+	}
+	if w.Take(homeOf) != nil {
+		t.Fatal("empty Take should return nil")
+	}
+}
+
+func TestWriteLogNoCoalesceAcrossGapsOrPages(t *testing.T) {
+	var w WriteLog
+	w.Record(1, 0, []byte{1})
+	w.Record(1, 5, []byte{2}) // gap
+	w.Record(2, 6, []byte{3}) // other page
+	w.Record(1, 6, []byte{4}) // back to page 1, not adjacent to last record
+	rec, _ := w.Pending()
+	if rec != 4 {
+		t.Fatalf("records = %d, want 4", rec)
+	}
+}
+
+func TestWriteLogRecordCopiesData(t *testing.T) {
+	var w WriteLog
+	buf := []byte{7, 7}
+	w.Record(3, 0, buf)
+	buf[0] = 0
+	groups := w.Take(func(pages.PageID) int { return 0 })
+	if groups[0][0].data[0] != 7 {
+		t.Fatal("Record aliased caller's buffer")
+	}
+}
+
+func TestDiffRoundTrip(t *testing.T) {
+	in := []span{
+		{page: 5, off: 16, data: []byte{1, 2, 3}},
+		{page: 2, off: 0, data: []byte{9}},
+		{page: 5, off: 0, data: []byte{4, 5}},
+	}
+	msg := encodeDiff(in)
+	out, err := decodeDiff(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encodeDiff sorts by (page, off).
+	want := []span{
+		{page: 2, off: 0, data: []byte{9}},
+		{page: 5, off: 0, data: []byte{4, 5}},
+		{page: 5, off: 16, data: []byte{1, 2, 3}},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("decoded %d spans", len(out))
+	}
+	for i := range want {
+		if out[i].page != want[i].page || out[i].off != want[i].off || !bytes.Equal(out[i].data, want[i].data) {
+			t.Fatalf("span %d = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestDecodeDiffErrors(t *testing.T) {
+	if _, err := decodeDiff([]byte{1, 2}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	// Claim one record but supply no header.
+	if _, err := decodeDiff([]byte{1, 0, 0, 0}); err == nil {
+		t.Error("missing header accepted")
+	}
+	// Valid header claiming more payload than present.
+	msg := encodeDiff([]span{{page: 1, off: 0, data: []byte{1, 2, 3, 4}}})
+	if _, err := decodeDiff(msg[:len(msg)-2]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+// Property: encode/decode is the identity on sorted spans.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(raw []struct {
+		Page uint8
+		Off  uint8
+		Data []byte
+	}) bool {
+		in := make([]span, 0, len(raw))
+		for _, r := range raw {
+			d := r.Data
+			if d == nil {
+				d = []byte{}
+			}
+			in = append(in, span{page: pages.PageID(r.Page), off: int(r.Off), data: d})
+		}
+		msg := encodeDiff(in)
+		out, err := decodeDiff(msg)
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].page != in[i].page || out[i].off != in[i].off || !bytes.Equal(out[i].data, in[i].data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDiffDeterministic(t *testing.T) {
+	in := func() []span {
+		return []span{{page: 9, off: 8, data: []byte{1}}, {page: 3, off: 0, data: []byte{2}}}
+	}
+	if !reflect.DeepEqual(encodeDiff(in()), encodeDiff(in())) {
+		t.Fatal("encoding not deterministic")
+	}
+}

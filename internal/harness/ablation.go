@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+	"repro/internal/vtime"
+)
+
+// The ablation sweeps quantify the tradeoff of §3.3 directly: "choosing
+// between one technique or the other involves a tradeoff which needs to
+// take into account ... the ratio between the number of local accesses to
+// the number of remote accesses and the relative cost of page faults
+// against inline-checks." Each sweep varies one cost parameter and
+// reruns a benchmark under both protocols.
+
+// AblationPoint is one measurement of a sweep.
+type AblationPoint struct {
+	Param   string
+	Value   float64
+	Results map[string]Result // by protocol
+}
+
+// Improvement reports (ic-pf)/ic at this point.
+func (p AblationPoint) Improvement() float64 {
+	ic, okIC := p.Results["java_ic"]
+	pf, okPF := p.Results["java_pf"]
+	if !okIC || !okPF || ic.Seconds() == 0 {
+		return 0
+	}
+	return (ic.Seconds() - pf.Seconds()) / ic.Seconds()
+}
+
+func runBoth(makeApp func() apps.App, cfg RunConfig) (map[string]Result, error) {
+	out := make(map[string]Result, len(Protocols))
+	for _, proto := range Protocols {
+		c := cfg
+		c.Protocol = proto
+		res, err := Run(makeApp(), c)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Check.Valid {
+			return nil, fmt.Errorf("harness: %s under %s failed validation: %s", res.App, proto, res.Check.Summary)
+		}
+		out[proto] = res
+	}
+	return out, nil
+}
+
+// AblateCheckCycles sweeps the in-line check cost (in cycles): the
+// cheaper the check, the smaller java_pf's advantage — the processor
+// effect behind the paper's SCI-cluster observation.
+func AblateCheckCycles(makeApp func() apps.App, cl model.Cluster, nodes int, cycles []float64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, v := range cycles {
+		c := cl
+		c.Machine.CheckCycles = v
+		results, err := runBoth(makeApp, RunConfig{Cluster: c, Nodes: nodes})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "check_cycles", Value: v, Results: results})
+	}
+	return out, nil
+}
+
+// AblateFaultCost sweeps the page-fault cost: the more expensive the
+// fault, the smaller java_pf's advantage. The paper's two platforms sit
+// at 22 us and 12 us on this axis.
+func AblateFaultCost(makeApp func() apps.App, cl model.Cluster, nodes int, faults []vtime.Duration) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, v := range faults {
+		c := cl
+		c.Machine.PageFault = v
+		results, err := runBoth(makeApp, RunConfig{Cluster: c, Nodes: nodes})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "page_fault_us", Value: v.Microseconds(), Results: results})
+	}
+	return out, nil
+}
+
+// AblatePageSize sweeps the DSM page size, trading prefetch effect (§3.1)
+// against transfer volume and false sharing.
+func AblatePageSize(makeApp func() apps.App, cl model.Cluster, nodes int, sizes []int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, v := range sizes {
+		c := cl
+		c.PageSize = v
+		results, err := runBoth(makeApp, RunConfig{Cluster: c, Nodes: nodes})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "page_size", Value: float64(v), Results: results})
+	}
+	return out, nil
+}
+
+// ThreadsPerNodeSweep runs the experiment the paper lists as future work
+// in §4.3: "the effects of using more application threads per node, thus
+// enabling computation/communication overlap". The modeled nodes are
+// uniprocessors, so computation charges are scaled by the thread count
+// (time-sharing) and any benefit comes from overlapping communication
+// stalls; detection overheads are charged unscaled, a small approximation
+// in java_ic's favor.
+func ThreadsPerNodeSweep(makeApp func() apps.App, cl model.Cluster, nodes int, tpn []int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, v := range tpn {
+		results, err := runBoth(makeApp, RunConfig{Cluster: cl, Nodes: nodes, ThreadsPerNode: v})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "threads_per_node", Value: float64(v), Results: results})
+	}
+	return out, nil
+}
+
+// NetworkSweep reruns a benchmark on every modeled interconnect.
+func NetworkSweep(makeApp func() apps.App, nodes int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for i, cl := range []model.Cluster{model.Myrinet200(), model.SCI450(), model.CommodityTCP()} {
+		if nodes > cl.MaxNodes {
+			continue
+		}
+		results, err := runBoth(makeApp, RunConfig{Cluster: cl, Nodes: nodes})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Param: "network:" + cl.Net.Name, Value: float64(i), Results: results})
+	}
+	return out, nil
+}
+
+// FormatAblation renders sweep results as a table.
+func FormatAblation(points []AblationPoint) string {
+	if len(points) == 0 {
+		return "(no points)\n"
+	}
+	s := fmt.Sprintf("%-24s %12s %12s %12s\n", points[0].Param, "java_ic (s)", "java_pf (s)", "improvement")
+	for _, p := range points {
+		ic, pf := p.Results["java_ic"], p.Results["java_pf"]
+		s += fmt.Sprintf("%-24g %12.6f %12.6f %11.1f%%\n", p.Value, ic.Seconds(), pf.Seconds(), p.Improvement()*100)
+	}
+	return s
+}

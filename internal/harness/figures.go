@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/apps/asp"
+	"repro/internal/apps/barnes"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/pi"
+	"repro/internal/apps/tsp"
+)
+
+// FigureSpec declares one of the paper's figures and how to rebuild it.
+type FigureSpec struct {
+	ID    int
+	Title string
+	// Repeats > 1 measures each point multiple times and keeps the
+	// median, for workloads with scheduling-dependent work (TSP).
+	Repeats int
+	// MakeApp builds the workload; paperScale selects the exact §4.1
+	// problem sizes instead of the proportionally scaled-down defaults
+	// (the full sizes take orders of magnitude longer to simulate).
+	MakeApp func(paperScale bool) apps.App
+}
+
+// Specs returns the five figure definitions in paper order.
+func Specs() []FigureSpec {
+	return []FigureSpec{
+		{1, "Pi: java_pf vs. java_ic", 1, func(p bool) apps.App {
+			if p {
+				return pi.Paper()
+			}
+			return pi.Default()
+		}},
+		{2, "Jacobi: java_pf vs. java_ic", 1, func(p bool) apps.App {
+			if p {
+				return jacobi.Paper()
+			}
+			return jacobi.Default()
+		}},
+		{3, "Barnes Hut: java_pf vs. java_ic", 1, func(p bool) apps.App {
+			if p {
+				return barnes.Paper()
+			}
+			return barnes.Default()
+		}},
+		{4, "TSP: java_pf vs. java_ic", 3, func(p bool) apps.App {
+			if p {
+				return tsp.Paper()
+			}
+			return tsp.Default()
+		}},
+		{5, "ASP: java_pf vs. java_ic", 1, func(p bool) apps.App {
+			if p {
+				return asp.Paper()
+			}
+			return asp.Default()
+		}},
+	}
+}
+
+// SpecByID returns the figure spec with the given id.
+func SpecByID(id int) (FigureSpec, error) {
+	for _, s := range Specs() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return FigureSpec{}, fmt.Errorf("harness: no figure %d (have 1-5)", id)
+}
+
+// BuildSpec regenerates one figure.
+func BuildSpec(s FigureSpec, paperScale bool) (Figure, error) {
+	return BuildFigureN(s.ID, s.Title, func() apps.App { return s.MakeApp(paperScale) }, s.Repeats)
+}
+
+// BuildAll regenerates all five figures.
+func BuildAll(paperScale bool) ([]Figure, error) {
+	var out []Figure
+	for _, s := range Specs() {
+		f, err := BuildSpec(s, paperScale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+// Package harness assembles complete simulated Hyperion runs and
+// regenerates the paper's evaluation: Figures 1-5 (execution time vs
+// number of nodes for the five benchmarks, four series each: two clusters
+// x two protocols) plus the §4.3 improvement analysis and this
+// reproduction's ablation sweeps.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jmm"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/threads"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// RunConfig selects the platform for one run.
+type RunConfig struct {
+	Cluster model.Cluster
+	Nodes   int
+	// Protocol is a registered core protocol name ("java_ic",
+	// "java_pf").
+	Protocol string
+	// ThreadsPerNode is the number of computation threads per node;
+	// the paper uses 1 ("we used only one application thread per
+	// node") and lists >1 as future work.
+	ThreadsPerNode int
+	// Costs overrides the DSM engine costs; zero value means defaults.
+	Costs *model.DSMCosts
+	// Tracer, when non-nil, records protocol events during the run.
+	Tracer *trace.Buffer
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	App      string
+	Cluster  string
+	Nodes    int
+	Workers  int
+	Protocol string
+	Time     vtime.Time
+	Check    apps.Check
+	Stats    stats.Snapshot
+	Messages int64
+	Bytes    int64
+}
+
+// Seconds reports the run's execution time in (virtual) seconds, the
+// y-axis of the paper's figures.
+func (r Result) Seconds() float64 { return r.Time.Seconds() }
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-7s %-14s n=%-2d %-8s %8.3fs  %s", r.App, r.Cluster, r.Nodes, r.Protocol, r.Seconds(), r.Check.Summary)
+}
+
+// Run executes one benchmark under one configuration.
+func Run(app apps.App, cfg RunConfig) (Result, error) {
+	if cfg.ThreadsPerNode <= 0 {
+		cfg.ThreadsPerNode = 1
+	}
+	cnt := &stats.Counters{}
+	cl, err := cluster.New(cfg.Cluster, cfg.Nodes, cnt)
+	if err != nil {
+		return Result{}, err
+	}
+	proto, err := core.NewProtocol(cfg.Protocol)
+	if err != nil {
+		return Result{}, err
+	}
+	costs := model.DefaultDSMCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	eng := core.NewEngine(cl, costs, proto)
+	if cfg.Tracer != nil {
+		eng.SetTracer(cfg.Tracer)
+	}
+	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
+	if cfg.ThreadsPerNode > 1 {
+		// The modeled nodes are uniprocessors: k threads time-share the
+		// CPU, so benefits can only come from overlapping communication
+		// stalls with computation (§4.3's future-work hypothesis).
+		rt.SetComputeScale(float64(cfg.ThreadsPerNode))
+	}
+	h := jmm.NewHeap(eng)
+
+	workers := cfg.Nodes * cfg.ThreadsPerNode
+	check := app.Run(rt, h, workers)
+	msgs, bytes := cl.Network().Stats()
+	return Result{
+		App:      app.Name(),
+		Cluster:  cfg.Cluster.Name,
+		Nodes:    cfg.Nodes,
+		Workers:  workers,
+		Protocol: cfg.Protocol,
+		Time:     rt.LastEnd(),
+		Check:    check,
+		Stats:    cnt.Snapshot(),
+		Messages: msgs,
+		Bytes:    bytes,
+	}, nil
+}
+
+// Line is one curve of a figure.
+type Line struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one measurement of a curve.
+type Point struct {
+	Nodes   int
+	Seconds float64
+	Result  Result
+}
+
+// Figure is the regenerated form of one paper figure.
+type Figure struct {
+	ID    int
+	Title string
+	Lines []Line
+}
+
+// Protocols under comparison, in the paper's legend order.
+var Protocols = []string{"java_ic", "java_pf"}
+
+// NodeCounts returns the node counts swept for a platform: 1..MaxNodes,
+// matching the figures' x axes (1-12 Myrinet, 1-6 SCI).
+func NodeCounts(c model.Cluster) []int {
+	out := make([]int, c.MaxNodes)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// BuildFigure sweeps one benchmark over both clusters, both protocols and
+// all node counts, reproducing one of Figures 1-5. The app factory is
+// invoked per run so instances stay stateless.
+func BuildFigure(id int, title string, makeApp func() apps.App, opts ...func(*RunConfig)) (Figure, error) {
+	return BuildFigureN(id, title, makeApp, 1, opts...)
+}
+
+// BuildFigureN is BuildFigure with each point measured `repeats` times,
+// keeping the median run. Branch-and-bound search sizes vary a few
+// percent with thread scheduling (as on the real system), so Figure 4 is
+// built from medians.
+func BuildFigureN(id int, title string, makeApp func() apps.App, repeats int, opts ...func(*RunConfig)) (Figure, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	fig := Figure{ID: id, Title: title}
+	for _, cl := range model.Clusters() {
+		for _, proto := range Protocols {
+			line := Line{Label: fmt.Sprintf("%s, %s", cl.Name, proto)}
+			for _, n := range NodeCounts(cl) {
+				cfg := RunConfig{Cluster: cl, Nodes: n, Protocol: proto}
+				for _, o := range opts {
+					o(&cfg)
+				}
+				res, err := runMedian(makeApp, cfg, repeats)
+				if err != nil {
+					return Figure{}, err
+				}
+				line.Points = append(line.Points, Point{Nodes: n, Seconds: res.Seconds(), Result: res})
+			}
+			fig.Lines = append(fig.Lines, line)
+		}
+	}
+	return fig, nil
+}
+
+// runMedian runs the benchmark `repeats` times and returns the run with
+// the median execution time.
+func runMedian(makeApp func() apps.App, cfg RunConfig, repeats int) (Result, error) {
+	results := make([]Result, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		res, err := Run(makeApp(), cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if !res.Check.Valid {
+			return Result{}, fmt.Errorf("harness: %s on %s x%d under %s failed validation: %s",
+				res.App, cfg.Cluster.Name, cfg.Nodes, cfg.Protocol, res.Check.Summary)
+		}
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Time < results[j].Time })
+	return results[len(results)/2], nil
+}
+
+// Improvement reports (ic - pf) / ic for one cluster at one node count,
+// the §4.3 metric.
+func (f Figure) Improvement(clusterName string, nodes int) (float64, bool) {
+	var ic, pf float64
+	var haveIC, havePF bool
+	for _, l := range f.Lines {
+		for _, p := range l.Points {
+			if p.Nodes != nodes || p.Result.Cluster != clusterName {
+				continue
+			}
+			switch p.Result.Protocol {
+			case "java_ic":
+				ic, haveIC = p.Seconds, true
+			case "java_pf":
+				pf, havePF = p.Seconds, true
+			}
+		}
+	}
+	if !haveIC || !havePF || ic == 0 {
+		return 0, false
+	}
+	return (ic - pf) / ic, true
+}
+
+// MeanImprovement averages Improvement over all node counts of a cluster.
+func (f Figure) MeanImprovement(clusterName string) (float64, bool) {
+	var sum float64
+	var n int
+	nodesSeen := map[int]bool{}
+	for _, l := range f.Lines {
+		for _, p := range l.Points {
+			if p.Result.Cluster == clusterName {
+				nodesSeen[p.Nodes] = true
+			}
+		}
+	}
+	counts := make([]int, 0, len(nodesSeen))
+	for k := range nodesSeen {
+		counts = append(counts, k)
+	}
+	sort.Ints(counts)
+	for _, c := range counts {
+		if v, ok := f.Improvement(clusterName, c); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/pi"
+	"repro/internal/model"
+	"repro/internal/vtime"
+)
+
+func TestRunProducesResult(t *testing.T) {
+	res, err := Run(pi.New(100_000), RunConfig{Cluster: model.SCI450(), Nodes: 3, Protocol: "java_pf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "pi" || res.Nodes != 3 || res.Workers != 3 || res.Protocol != "java_pf" {
+		t.Fatalf("result metadata: %+v", res)
+	}
+	if !res.Check.Valid || res.Seconds() <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.Messages == 0 {
+		t.Error("no network traffic recorded on a 3-node run")
+	}
+	if !strings.Contains(res.String(), "pi") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(pi.New(1000), RunConfig{Cluster: model.SCI450(), Nodes: 99, Protocol: "java_pf"}); err == nil {
+		t.Error("oversized cluster accepted")
+	}
+	if _, err := Run(pi.New(1000), RunConfig{Cluster: model.SCI450(), Nodes: 2, Protocol: "bogus"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestRunThreadsPerNode(t *testing.T) {
+	res, err := Run(jacobi.New(32, 2), RunConfig{Cluster: model.SCI450(), Nodes: 2, Protocol: "java_pf", ThreadsPerNode: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 6 {
+		t.Fatalf("workers = %d, want 6", res.Workers)
+	}
+	if !res.Check.Valid {
+		t.Fatalf("multi-thread-per-node run invalid: %s", res.Check.Summary)
+	}
+}
+
+func TestRunCostOverride(t *testing.T) {
+	costs := model.DefaultDSMCosts()
+	costs.ServiceCycles = 100000 // very slow home service
+	slow, err := Run(jacobi.New(32, 2), RunConfig{Cluster: model.SCI450(), Nodes: 2, Protocol: "java_pf", Costs: &costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(jacobi.New(32, 2), RunConfig{Cluster: model.SCI450(), Nodes: 2, Protocol: "java_pf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Seconds() <= fast.Seconds() {
+		t.Fatalf("cost override had no effect: %.4f vs %.4f", slow.Seconds(), fast.Seconds())
+	}
+}
+
+func TestNodeCounts(t *testing.T) {
+	got := NodeCounts(model.Myrinet200())
+	if len(got) != 12 || got[0] != 1 || got[11] != 12 {
+		t.Fatalf("NodeCounts = %v", got)
+	}
+}
+
+func buildTinyFigure(t *testing.T) Figure {
+	t.Helper()
+	fig := Figure{ID: 2, Title: "tiny"}
+	for _, cl := range model.Clusters() {
+		for _, proto := range Protocols {
+			line := Line{Label: cl.Name + " " + proto}
+			for _, n := range []int{1, 2} {
+				res, err := Run(jacobi.New(24, 2), RunConfig{Cluster: cl, Nodes: n, Protocol: proto})
+				if err != nil {
+					t.Fatal(err)
+				}
+				line.Points = append(line.Points, Point{Nodes: n, Seconds: res.Seconds(), Result: res})
+			}
+			fig.Lines = append(fig.Lines, line)
+		}
+	}
+	return fig
+}
+
+func TestImprovementMath(t *testing.T) {
+	fig := buildTinyFigure(t)
+	v, ok := fig.Improvement(model.Myrinet200().Name, 1)
+	if !ok {
+		t.Fatal("no improvement at 1 node")
+	}
+	if v <= 0 || v >= 1 {
+		t.Fatalf("improvement = %v", v)
+	}
+	if _, ok := fig.Improvement("no-such-cluster", 1); ok {
+		t.Error("improvement for unknown cluster")
+	}
+	m, ok := fig.MeanImprovement(model.Myrinet200().Name)
+	if !ok || m <= 0 {
+		t.Fatalf("mean improvement = %v/%v", m, ok)
+	}
+}
+
+func TestFigureRenderAndCSV(t *testing.T) {
+	fig := buildTinyFigure(t)
+	chart := fig.Render(60, 12)
+	if !strings.Contains(chart, "Figure 2") || !strings.Contains(chart, "nodes") {
+		t.Errorf("chart missing labels:\n%s", chart)
+	}
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, "nodes,") || !strings.Contains(csv, "\n1,") {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestSpecs(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 5 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	names := []string{"pi", "jacobi", "barnes", "tsp", "asp"}
+	for i, s := range specs {
+		if s.ID != i+1 {
+			t.Errorf("spec %d has id %d", i, s.ID)
+		}
+		if got := s.MakeApp(false).Name(); got != names[i] {
+			t.Errorf("spec %d builds %q, want %q", i, got, names[i])
+		}
+	}
+	if _, err := SpecByID(6); err == nil {
+		t.Error("SpecByID(6) accepted")
+	}
+	if s, err := SpecByID(3); err != nil || s.Title == "" {
+		t.Errorf("SpecByID(3) = %+v, %v", s, err)
+	}
+}
+
+func TestCheckClaimsOnSyntheticData(t *testing.T) {
+	// Build synthetic figures where pf always wins by a known margin and
+	// verify the claim evaluation logic.
+	mkFig := func(id int, icBase, pfBase float64) Figure {
+		fig := Figure{ID: id}
+		for _, cl := range model.Clusters() {
+			factor := 1.0
+			if cl.Name == model.SCI450().Name {
+				factor = 0.4 // smaller gap on SCI
+			}
+			for _, proto := range Protocols {
+				line := Line{Label: cl.Name + " " + proto}
+				for _, n := range NodeCounts(cl) {
+					sec := icBase / float64(n)
+					if proto == "java_pf" {
+						sec = icBase/float64(n) - (icBase-pfBase)/float64(n)*factor
+					}
+					line.Points = append(line.Points, Point{
+						Nodes: n, Seconds: sec,
+						Result: Result{Cluster: cl.Name, Protocol: proto, Nodes: n, Time: vtime.Time(sec * float64(vtime.Second))},
+					})
+				}
+				fig.Lines = append(fig.Lines, line)
+			}
+		}
+		return fig
+	}
+	figs := []Figure{
+		mkFig(1, 10, 9.99), // pi: nearly identical
+		mkFig(2, 10, 6.2),  // jacobi: 38%
+		mkFig(3, 10, 5.6),  // barnes
+		mkFig(4, 10, 5),    // tsp
+		mkFig(5, 10, 3.6),  // asp: 64%
+	}
+	claims := CheckClaims(figs)
+	byName := map[string]Claim{}
+	for _, c := range claims {
+		byName[c.Name] = c
+	}
+	for _, name := range []string{"pi-identical", "pf-superior", "myrinet-range", "sci-smaller"} {
+		if c, ok := byName[name]; !ok || !c.Pass {
+			t.Errorf("claim %s failed on synthetic pass data: %+v", name, c)
+		}
+	}
+	// barnes-decline must FAIL on this synthetic data (constant
+	// improvement by construction).
+	if c := byName["barnes-decline"]; c.Pass {
+		t.Error("barnes-decline passed on non-declining synthetic data")
+	}
+	if !strings.Contains(ReportClaims(claims), "pi-identical") {
+		t.Error("ReportClaims output")
+	}
+	if !strings.Contains(ImprovementTable(figs), "fig 5") {
+		t.Error("ImprovementTable output")
+	}
+}
+
+func TestAblationSweeps(t *testing.T) {
+	mk := func() apps.App { return jacobi.New(32, 2) }
+
+	pts, err := AblateCheckCycles(mk, model.Myrinet200(), 2, []float64{2, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Improvement() >= pts[1].Improvement() {
+		t.Fatalf("improvement should grow with check cost: %.3f vs %.3f",
+			pts[0].Improvement(), pts[1].Improvement())
+	}
+
+	fpts, err := AblateFaultCost(mk, model.Myrinet200(), 2, []vtime.Duration{vtime.Micro(5), vtime.Micro(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpts[0].Improvement() <= fpts[1].Improvement() {
+		t.Fatalf("improvement should shrink with fault cost: %.3f vs %.3f",
+			fpts[0].Improvement(), fpts[1].Improvement())
+	}
+
+	ppts, err := AblatePageSize(mk, model.Myrinet200(), 2, []int{1024, 4096})
+	if err != nil || len(ppts) != 2 {
+		t.Fatalf("page size sweep: %v", err)
+	}
+
+	tpts, err := ThreadsPerNodeSweep(mk, model.Myrinet200(), 2, []int{1, 2})
+	if err != nil || len(tpts) != 2 {
+		t.Fatalf("tpn sweep: %v", err)
+	}
+
+	npts, err := NetworkSweep(mk, 2)
+	if err != nil || len(npts) != 3 {
+		t.Fatalf("network sweep: %v, %d points", err, len(npts))
+	}
+
+	if !strings.Contains(FormatAblation(pts), "improvement") {
+		t.Error("FormatAblation output")
+	}
+	if FormatAblation(nil) == "" {
+		t.Error("FormatAblation(nil)")
+	}
+}

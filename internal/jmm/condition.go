@@ -1,0 +1,90 @@
+package jmm
+
+import (
+	"repro/internal/threads"
+	"repro/internal/vtime"
+)
+
+// Java's Object.wait/notify/notifyAll, implemented on the monitor. A
+// waiting thread releases the monitor with full release semantics (its
+// modifications are transmitted to main memory), parks until a notifier
+// wakes it, and then re-acquires the monitor — paying the lock round trip
+// and the acquire-side cache invalidation like any other entry. This
+// completes the Java synchronization surface of Hyperion's Java API
+// subsystem (Table 1).
+
+const notifyCycles = 80 // scan/dequeue of the wait set
+
+type waiter struct {
+	wake chan vtime.Time // closed with the wake-up delivery time
+	node int
+}
+
+// Wait atomically releases the monitor and parks the calling thread until
+// Notify or NotifyAll wakes it, then re-acquires the monitor. The caller
+// must hold the monitor, as in Java.
+func (m *Monitor) Wait(t *threads.Thread) {
+	eng := m.heap.eng
+	net := eng.Cluster().Network()
+	mach := eng.Machine()
+
+	// Release semantics, as in Exit.
+	eng.Release(t.Ctx())
+
+	w := &waiter{wake: make(chan vtime.Time, 1), node: t.Node()}
+	m.waiters = append(m.waiters, w)
+
+	release := t.Now().Add(mach.Cycles(lockCycles))
+	if t.Node() != m.home {
+		senderFree, delivered := net.Send(t.Node(), m.home, lockMsgBytes, t.Now())
+		t.Clock().AdvanceTo(senderFree)
+		release = delivered
+	} else {
+		t.Clock().AdvanceTo(release)
+	}
+	m.lastRelease = release
+	m.mu.Unlock()
+
+	// Park until a notifier delivers a wake-up time, then re-acquire.
+	wakeAt := <-w.wake
+	t.Clock().AdvanceTo(wakeAt)
+	m.Enter(t)
+}
+
+// Notify wakes the longest-waiting thread, if any. The caller must hold
+// the monitor. The wake-up reaches the waiter's node after one message.
+func (m *Monitor) Notify(t *threads.Thread) {
+	m.notify(t, 1)
+}
+
+// NotifyAll wakes every waiting thread. The caller must hold the monitor.
+func (m *Monitor) NotifyAll(t *threads.Thread) {
+	m.notify(t, len(m.waiters))
+}
+
+func (m *Monitor) notify(t *threads.Thread, n int) {
+	if n > len(m.waiters) {
+		n = len(m.waiters)
+	}
+	if n == 0 {
+		return
+	}
+	eng := m.heap.eng
+	net := eng.Cluster().Network()
+	mach := eng.Machine()
+	t.Clock().Advance(mach.Cycles(float64(notifyCycles * n)))
+
+	for i := 0; i < n; i++ {
+		w := m.waiters[i]
+		wake := t.Now()
+		if w.node != t.Node() {
+			_, wake = net.Send(t.Node(), w.node, lockMsgBytes, t.Now())
+		}
+		w.wake <- wake
+	}
+	m.waiters = append([]*waiter(nil), m.waiters[n:]...)
+}
+
+// WaitingCount reports the number of parked waiters, for tests and
+// diagnostics. The caller must hold the monitor.
+func (m *Monitor) WaitingCount() int { return len(m.waiters) }

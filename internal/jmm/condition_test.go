@@ -1,0 +1,211 @@
+package jmm
+
+import (
+	"testing"
+
+	"repro/internal/threads"
+	"repro/internal/vtime"
+)
+
+func TestWaitNotifyHandoff(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		rt, h := newWorld(t, 2, proto)
+		var observed int64
+		rt.Main(func(main *threads.Thread) {
+			flag := h.NewI64Array(main, 0, 1)
+			mon := h.NewMonitor(0)
+
+			consumer := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+				mon.Enter(w)
+				for flag.Get(w, 0) == 0 {
+					mon.Wait(w)
+				}
+				observed = flag.Get(w, 0)
+				mon.Exit(w)
+			})
+			producer := rt.SpawnOn(main, 0, func(w *threads.Thread) {
+				w.Compute(1e6, 0) // let the consumer park first (virtually)
+				mon.Enter(w)
+				flag.Set(w, 0, 99)
+				mon.Notify(w)
+				mon.Exit(w)
+			})
+			rt.Join(main, consumer)
+			rt.Join(main, producer)
+		})
+		if observed != 99 {
+			t.Fatalf("%s: consumer observed %d, want 99", proto, observed)
+		}
+	}
+}
+
+func TestWaitReleasesMonitorWhileParked(t *testing.T) {
+	rt, h := newWorld(t, 2, "java_pf")
+	rt.Main(func(main *threads.Thread) {
+		mon := h.NewMonitor(0)
+		entered := h.NewI64Array(main, 0, 1)
+
+		waiterT := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+			mon.Enter(w)
+			mon.Wait(w) // must release the lock or the peer deadlocks
+			mon.Exit(w)
+		})
+		peer := rt.SpawnOn(main, 0, func(w *threads.Thread) {
+			// Acquire repeatedly until the waiter has parked (avoiding
+			// the lost-wakeup race a real Java program would also have),
+			// then notify.
+			for {
+				mon.Enter(w)
+				if mon.WaitingCount() > 0 {
+					entered.Set(w, 0, 1) // proves the lock was available
+					mon.Notify(w)
+					mon.Exit(w)
+					return
+				}
+				mon.Exit(w)
+				w.Compute(1e4, 0)
+			}
+		})
+		rt.Join(main, waiterT)
+		rt.Join(main, peer)
+		mon.Synchronized(main, func() {
+			if entered.Get(main, 0) != 1 {
+				t.Error("peer never acquired the monitor while waiter was parked")
+			}
+		})
+	})
+}
+
+func TestNotifyAllWakesEveryone(t *testing.T) {
+	const waiters = 4
+	rt, h := newWorld(t, 4, "java_ic")
+	woke := make([]bool, waiters)
+	rt.Main(func(main *threads.Thread) {
+		mon := h.NewMonitor(0)
+		ready := h.NewI64Array(main, 0, 1)
+
+		ws := make([]*threads.Thread, waiters)
+		for i := 0; i < waiters; i++ {
+			i := i
+			ws[i] = rt.Spawn(main, func(w *threads.Thread) {
+				mon.Enter(w)
+				for ready.Get(w, 0) == 0 {
+					mon.Wait(w)
+				}
+				woke[i] = true
+				mon.Exit(w)
+			})
+		}
+		notifier := rt.SpawnOn(main, 0, func(w *threads.Thread) {
+			w.Compute(2e6, 0)
+			mon.Enter(w)
+			ready.Set(w, 0, 1)
+			mon.NotifyAll(w)
+			mon.Exit(w)
+		})
+		for _, w := range ws {
+			rt.Join(main, w)
+		}
+		rt.Join(main, notifier)
+	})
+	for i, ok := range woke {
+		if !ok {
+			t.Fatalf("waiter %d never woke", i)
+		}
+	}
+}
+
+func TestNotifyWithoutWaitersIsNoop(t *testing.T) {
+	rt, h := newWorld(t, 1, "java_pf")
+	rt.Main(func(main *threads.Thread) {
+		mon := h.NewMonitor(0)
+		mon.Enter(main)
+		if mon.WaitingCount() != 0 {
+			t.Error("phantom waiters")
+		}
+		mon.Notify(main)
+		mon.NotifyAll(main)
+		mon.Exit(main)
+	})
+}
+
+func TestWakeupTimeFollowsNotifier(t *testing.T) {
+	rt, h := newWorld(t, 2, "java_pf")
+	rt.Main(func(main *threads.Thread) {
+		mon := h.NewMonitor(0)
+		var wokeAt, notifiedAt vtime.Time
+		w1 := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+			mon.Enter(w)
+			mon.Wait(w)
+			wokeAt = w.Now()
+			mon.Exit(w)
+		})
+		w2 := rt.SpawnOn(main, 0, func(w *threads.Thread) {
+			w.Compute(3e6, 0) // notify at ~15ms (virtual)
+			for {
+				mon.Enter(w)
+				if mon.WaitingCount() > 0 {
+					mon.Notify(w)
+					notifiedAt = w.Now()
+					mon.Exit(w)
+					return
+				}
+				mon.Exit(w)
+				w.Compute(1e4, 0)
+			}
+		})
+		rt.Join(main, w1)
+		rt.Join(main, w2)
+		if wokeAt <= notifiedAt {
+			t.Fatalf("waiter woke at %v, before/at notify %v (missing message + re-acquire delay)", wokeAt, notifiedAt)
+		}
+	})
+}
+
+func TestProducerConsumerBoundedBuffer(t *testing.T) {
+	// The canonical wait/notify program: a 1-slot buffer between nodes.
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		rt, h := newWorld(t, 2, proto)
+		const items = 20
+		var received []int64
+		rt.Main(func(main *threads.Thread) {
+			buf := h.NewI64Array(main, 0, 2) // [0]=full flag, [1]=value
+			mon := h.NewMonitor(0)
+
+			producer := rt.SpawnOn(main, 0, func(w *threads.Thread) {
+				for i := 1; i <= items; i++ {
+					mon.Enter(w)
+					for buf.Get(w, 0) != 0 {
+						mon.Wait(w)
+					}
+					buf.Set(w, 1, int64(i*7))
+					buf.Set(w, 0, 1)
+					mon.NotifyAll(w)
+					mon.Exit(w)
+				}
+			})
+			consumer := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+				for i := 0; i < items; i++ {
+					mon.Enter(w)
+					for buf.Get(w, 0) != 1 {
+						mon.Wait(w)
+					}
+					received = append(received, buf.Get(w, 1))
+					buf.Set(w, 0, 0)
+					mon.NotifyAll(w)
+					mon.Exit(w)
+				}
+			})
+			rt.Join(main, producer)
+			rt.Join(main, consumer)
+		})
+		if len(received) != items {
+			t.Fatalf("%s: received %d items", proto, len(received))
+		}
+		for i, v := range received {
+			if v != int64((i+1)*7) {
+				t.Fatalf("%s: item %d = %d, want %d (stale buffer data)", proto, i, v, (i+1)*7)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package jmm
+
+import (
+	"fmt"
+
+	"repro/internal/pages"
+	"repro/internal/threads"
+)
+
+// The object model: Java-like objects with named, typed fields, laid out
+// contiguously in the DSM's iso-address space. Reference fields store
+// global addresses directly — because every object lives at the same
+// virtual address on all nodes (§3.1's iso-address scheme), references
+// remain valid across page replication and thread migration, and a data
+// structure built on one node can be traversed from any other.
+
+// FieldKind is the type of one object field.
+type FieldKind uint8
+
+const (
+	// FieldF64 is a Java double.
+	FieldF64 FieldKind = iota
+	// FieldI32 is a Java int.
+	FieldI32
+	// FieldI64 is a Java long.
+	FieldI64
+	// FieldRef is a reference to another shared object (or null).
+	FieldRef
+)
+
+func (k FieldKind) size() int {
+	if k == FieldI32 {
+		return 4
+	}
+	return 8
+}
+
+// Field declares one field of a class.
+type Field struct {
+	Name string
+	Kind FieldKind
+}
+
+// Class is an object layout: an ordered set of named fields.
+type Class struct {
+	name   string
+	fields []Field
+	offs   []int
+	index  map[string]int
+	size   int
+}
+
+// NewClass defines a class with the given fields. Fields are laid out in
+// declaration order with natural alignment.
+func NewClass(name string, fields ...Field) *Class {
+	c := &Class{name: name, fields: fields, index: make(map[string]int, len(fields))}
+	off := 0
+	for i, f := range fields {
+		if _, dup := c.index[f.Name]; dup {
+			panic(fmt.Sprintf("jmm: class %s: duplicate field %q", name, f.Name))
+		}
+		sz := f.Kind.size()
+		off = (off + sz - 1) &^ (sz - 1)
+		c.offs = append(c.offs, off)
+		c.index[f.Name] = i
+		off += sz
+	}
+	// Objects are 8-aligned so following allocations stay aligned.
+	c.size = (off + 7) &^ 7
+	if c.size == 0 {
+		c.size = 8
+	}
+	return c
+}
+
+// Name reports the class name.
+func (c *Class) Name() string { return c.name }
+
+// Size reports the object size in bytes.
+func (c *Class) Size() int { return c.size }
+
+func (c *Class) field(name string, kind FieldKind) int {
+	i, ok := c.index[name]
+	if !ok {
+		panic(fmt.Sprintf("jmm: class %s has no field %q", c.name, name))
+	}
+	if c.fields[i].Kind != kind {
+		panic(fmt.Sprintf("jmm: class %s field %q is %v, accessed as %v", c.name, name, c.fields[i].Kind, kind))
+	}
+	return c.offs[i]
+}
+
+// Object is a reference to a shared object. The zero Object is null.
+type Object struct {
+	class *Class
+	addr  pages.Addr
+}
+
+// IsNull reports whether the reference is null.
+func (o Object) IsNull() bool { return o.addr == 0 }
+
+// Class returns the object's class (nil for null).
+func (o Object) Class() *Class { return o.class }
+
+// Addr exposes the object's global address.
+func (o Object) Addr() pages.Addr { return o.addr }
+
+// NewObject allocates a zeroed instance of class homed at the given node.
+func (h *Heap) NewObject(t *threads.Thread, home int, class *Class) Object {
+	if class == nil {
+		panic("jmm: nil class")
+	}
+	return Object{class: class, addr: h.alloc(t, home, 1, class.size, false)}
+}
+
+func (o Object) must() {
+	if o.IsNull() {
+		panic("jmm: null reference")
+	}
+}
+
+// GetF64 reads a double field.
+func (o Object) GetF64(t *threads.Thread, field string) float64 {
+	o.must()
+	return t.Ctx().GetF64(o.addr + pages.Addr(o.class.field(field, FieldF64)))
+}
+
+// SetF64 writes a double field.
+func (o Object) SetF64(t *threads.Thread, field string, v float64) {
+	o.must()
+	t.Ctx().PutF64(o.addr+pages.Addr(o.class.field(field, FieldF64)), v)
+}
+
+// GetI32 reads an int field.
+func (o Object) GetI32(t *threads.Thread, field string) int32 {
+	o.must()
+	return t.Ctx().GetI32(o.addr + pages.Addr(o.class.field(field, FieldI32)))
+}
+
+// SetI32 writes an int field.
+func (o Object) SetI32(t *threads.Thread, field string, v int32) {
+	o.must()
+	t.Ctx().PutI32(o.addr+pages.Addr(o.class.field(field, FieldI32)), v)
+}
+
+// GetI64 reads a long field.
+func (o Object) GetI64(t *threads.Thread, field string) int64 {
+	o.must()
+	return t.Ctx().GetI64(o.addr + pages.Addr(o.class.field(field, FieldI64)))
+}
+
+// SetI64 writes a long field.
+func (o Object) SetI64(t *threads.Thread, field string, v int64) {
+	o.must()
+	t.Ctx().PutI64(o.addr+pages.Addr(o.class.field(field, FieldI64)), v)
+}
+
+// GetRef reads a reference field as an object of the given class (which
+// the caller asserts, as Java's type system would have).
+func (o Object) GetRef(t *threads.Thread, field string, class *Class) Object {
+	o.must()
+	raw := t.Ctx().GetI64(o.addr + pages.Addr(o.class.field(field, FieldRef)))
+	if raw == 0 {
+		return Object{}
+	}
+	return Object{class: class, addr: pages.Addr(raw)}
+}
+
+// SetRef writes a reference field (a null Object stores null).
+func (o Object) SetRef(t *threads.Thread, field string, v Object) {
+	o.must()
+	t.Ctx().PutI64(o.addr+pages.Addr(o.class.field(field, FieldRef)), int64(v.addr))
+}
+
+// RefArray is a shared array of object references (a Java Object[]),
+// storing global iso-addresses.
+type RefArray struct {
+	base pages.Addr
+	n    int
+}
+
+// NewRefArray allocates an Object[] homed at the given node, initialized
+// to nulls.
+func (h *Heap) NewRefArray(t *threads.Thread, home, n int) RefArray {
+	if n < 0 {
+		panic(fmt.Sprintf("jmm: negative array length %d", n))
+	}
+	size := n * 8
+	if size == 0 {
+		size = 8
+	}
+	a, err := h.eng.Alloc(t.Ctx(), home, size, 8)
+	if err != nil {
+		panic(fmt.Sprintf("jmm: allocation failed: %v", err))
+	}
+	return RefArray{base: a, n: n}
+}
+
+// Len reports the array length.
+func (a RefArray) Len() int { return a.n }
+
+// Get reads element i as an object of the given class.
+func (a RefArray) Get(t *threads.Thread, i int, class *Class) Object {
+	a.bounds(i)
+	raw := t.Ctx().GetI64(a.base + pages.Addr(i*8))
+	if raw == 0 {
+		return Object{}
+	}
+	return Object{class: class, addr: pages.Addr(raw)}
+}
+
+// Set writes element i (a null Object stores null).
+func (a RefArray) Set(t *threads.Thread, i int, v Object) {
+	a.bounds(i)
+	t.Ctx().PutI64(a.base+pages.Addr(i*8), int64(v.addr))
+}
+
+func (a RefArray) bounds(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("jmm: index %d out of range [0,%d)", i, a.n))
+	}
+}

@@ -1,0 +1,210 @@
+package jmm
+
+import (
+	"testing"
+
+	"repro/internal/threads"
+)
+
+func TestClassLayout(t *testing.T) {
+	c := NewClass("Body",
+		Field{"x", FieldF64},
+		Field{"id", FieldI32},
+		Field{"count", FieldI64}, // must be 8-aligned after the 4-byte int
+		Field{"next", FieldRef},
+	)
+	if c.Name() != "Body" {
+		t.Error("Name")
+	}
+	// x@0(8), id@8(4), count@16 (aligned up from 12), next@24 -> size 32.
+	if c.Size() != 32 {
+		t.Fatalf("size = %d, want 32", c.Size())
+	}
+}
+
+func TestClassValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate field accepted")
+			}
+		}()
+		NewClass("D", Field{"a", FieldF64}, Field{"a", FieldI32})
+	}()
+
+	// Field-access violations panic inside the simulated thread; the
+	// recover must run in the thread's goroutine.
+	rt, h := newWorld(t, 1, "java_pf")
+	rt.Main(func(m *threads.Thread) {
+		c := NewClass("E", Field{"a", FieldF64})
+		o := h.NewObject(m, 0, c)
+		for name, fn := range map[string]func(){
+			"wrong kind":    func() { o.GetI32(m, "a") },
+			"unknown field": func() { o.GetF64(m, "b") },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s accepted", name)
+					}
+				}()
+				fn()
+			}()
+		}
+	})
+}
+
+func TestObjectFieldsRoundTrip(t *testing.T) {
+	c := NewClass("Mixed",
+		Field{"d", FieldF64}, Field{"i", FieldI32}, Field{"l", FieldI64})
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		rt, h := newWorld(t, 2, proto)
+		rt.Main(func(m *threads.Thread) {
+			o := h.NewObject(m, 1, c)
+			o.SetF64(m, "d", 3.5)
+			o.SetI32(m, "i", -9)
+			o.SetI64(m, "l", 1<<40)
+			if o.GetF64(m, "d") != 3.5 || o.GetI32(m, "i") != -9 || o.GetI64(m, "l") != 1<<40 {
+				t.Errorf("%s: field round trip failed", proto)
+			}
+		})
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	var null Object
+	if !null.IsNull() || null.Class() != nil {
+		t.Fatal("zero Object should be null")
+	}
+	rt, _ := newWorld(t, 1, "java_pf")
+	rt.Main(func(m *threads.Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected null-reference panic")
+			}
+		}()
+		null.GetF64(m, "x")
+	})
+}
+
+// TestLinkedListAcrossNodes is the iso-address property of §3.1 in
+// action: a linked list whose nodes are allocated on different cluster
+// nodes is built by one thread and traversed by another on yet another
+// node — the stored references are plain global addresses and stay valid
+// everywhere.
+func TestLinkedListAcrossNodes(t *testing.T) {
+	node := NewClass("ListNode", Field{"value", FieldI64}, Field{"next", FieldRef})
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		rt, h := newWorld(t, 4, proto)
+		var sum int64
+		var hops int
+		rt.Main(func(m *threads.Thread) {
+			mon := h.NewMonitor(0)
+			// head cell so the traverser can find the list.
+			headCell := h.NewObject(m, 0, NewClass("Head", Field{"head", FieldRef}))
+
+			builder := rt.SpawnOn(m, 1, func(w *threads.Thread) {
+				var head Object
+				// Build 3 -> 2 -> 1 -> 0 with nodes spread across the
+				// cluster.
+				for i := 0; i < 4; i++ {
+					n := h.NewObject(w, i%4, node)
+					n.SetI64(w, "value", int64(i*11))
+					n.SetRef(w, "next", head)
+					head = n
+				}
+				mon.Synchronized(w, func() { headCell.SetRef(w, "head", head) })
+			})
+			rt.Join(m, builder)
+
+			traverser := rt.SpawnOn(m, 3, func(w *threads.Thread) {
+				var head Object
+				mon.Synchronized(w, func() { head = headCell.GetRef(w, "head", node) })
+				for cur := head; !cur.IsNull(); cur = cur.GetRef(w, "next", node) {
+					sum += cur.GetI64(w, "value")
+					hops++
+				}
+			})
+			rt.Join(m, traverser)
+		})
+		if hops != 4 || sum != 0+11+22+33 {
+			t.Fatalf("%s: traversed %d nodes, sum %d", proto, hops, sum)
+		}
+	}
+}
+
+func TestObjectsShareCachePagesWithNeighbors(t *testing.T) {
+	// §3.1's prefetch effect: objects allocated together land on the
+	// same page, so fetching one brings its neighbors.
+	c := NewClass("Small", Field{"v", FieldI64})
+	rt, h := newWorld(t, 2, "java_pf")
+	rt.Main(func(m *threads.Thread) {
+		objs := make([]Object, 16)
+		for i := range objs {
+			objs[i] = h.NewObject(m, 0, c)
+			objs[i].SetI64(m, "v", int64(i))
+		}
+		w := rt.SpawnOn(m, 1, func(w *threads.Thread) {
+			for i, o := range objs {
+				if o.GetI64(w, "v") != int64(i) {
+					t.Errorf("obj %d wrong value", i)
+				}
+			}
+		})
+		rt.Join(m, w)
+	})
+	s := rt.Engine().Cluster().Counters().Snapshot()
+	if s.PageFaults > 2 {
+		t.Fatalf("16 neighboring objects took %d faults; expected the page fetch to prefetch them", s.PageFaults)
+	}
+}
+
+func TestRefArray(t *testing.T) {
+	item := NewClass("Item", Field{"v", FieldI64})
+	rt, h := newWorld(t, 3, "java_pf")
+	rt.Main(func(m *threads.Thread) {
+		arr := h.NewRefArray(m, 0, 5)
+		if arr.Len() != 5 {
+			t.Fatal("Len")
+		}
+		// Slots start null.
+		if !arr.Get(m, 0, item).IsNull() {
+			t.Fatal("fresh slot not null")
+		}
+		// Store objects homed on various nodes; read them back from a
+		// thread on another node. The writes to remotely-homed objects
+		// must be published with a monitor exit, as Java requires.
+		mon := h.NewMonitor(0)
+		mon.Enter(m)
+		for i := 0; i < 5; i++ {
+			o := h.NewObject(m, i%3, item)
+			o.SetI64(m, "v", int64(i*3))
+			arr.Set(m, i, o)
+		}
+		arr.Set(m, 2, Object{}) // null out one slot
+		mon.Exit(m)
+		w := rt.SpawnOn(m, 2, func(w *threads.Thread) {
+			for i := 0; i < 5; i++ {
+				o := arr.Get(w, i, item)
+				if i == 2 {
+					if !o.IsNull() {
+						t.Error("slot 2 should be null")
+					}
+					continue
+				}
+				if o.GetI64(w, "v") != int64(i*3) {
+					t.Errorf("slot %d wrong value", i)
+				}
+			}
+		})
+		rt.Join(m, w)
+
+		// Bounds panics.
+		defer func() {
+			if recover() == nil {
+				t.Error("expected bounds panic")
+			}
+		}()
+		arr.Get(m, 5, item)
+	})
+}

@@ -1,0 +1,67 @@
+package jmm
+
+import (
+	"math"
+
+	"repro/internal/pages"
+	"repro/internal/threads"
+)
+
+// VolatileI64 is a shared Java "volatile long": reads and writes go
+// straight to main memory (the home node's reference copy), bypassing the
+// node cache, with the old-JMM volatile semantics Hyperion implements.
+type VolatileI64 struct {
+	addr pages.Addr
+}
+
+// NewVolatileI64 allocates a volatile long homed at the given node.
+func (h *Heap) NewVolatileI64(t *threads.Thread, home int) VolatileI64 {
+	return VolatileI64{addr: h.alloc(t, home, 1, 8, false)}
+}
+
+// Get reads the field from main memory.
+func (v VolatileI64) Get(t *threads.Thread) int64 {
+	return int64(t.Ctx().Engine().ReadVolatile64(t.Ctx(), v.addr))
+}
+
+// Set writes the field to main memory, synchronously.
+func (v VolatileI64) Set(t *threads.Thread, val int64) {
+	t.Ctx().Engine().WriteVolatile64(t.Ctx(), v.addr, uint64(val))
+}
+
+// VolatileF64 is a shared Java "volatile double".
+type VolatileF64 struct {
+	addr pages.Addr
+}
+
+// NewVolatileF64 allocates a volatile double homed at the given node.
+func (h *Heap) NewVolatileF64(t *threads.Thread, home int) VolatileF64 {
+	return VolatileF64{addr: h.alloc(t, home, 1, 8, false)}
+}
+
+// Get reads the field from main memory.
+func (v VolatileF64) Get(t *threads.Thread) float64 {
+	return math.Float64frombits(t.Ctx().Engine().ReadVolatile64(t.Ctx(), v.addr))
+}
+
+// Set writes the field to main memory, synchronously.
+func (v VolatileF64) Set(t *threads.Thread, val float64) {
+	t.Ctx().Engine().WriteVolatile64(t.Ctx(), v.addr, math.Float64bits(val))
+}
+
+// ArrayCopy copies n doubles from src[srcPos:] to dst[dstPos:] through
+// the DSM, the equivalent of java.lang.System.arraycopy for double[].
+// Element order follows Java semantics: a plain forward copy through a
+// temporary, so overlapping ranges behave as if staged.
+func ArrayCopy(t *threads.Thread, src F64Array, srcPos int, dst F64Array, dstPos, n int) {
+	if n < 0 || srcPos < 0 || dstPos < 0 || srcPos+n > src.Len() || dstPos+n > dst.Len() {
+		panic("jmm: ArrayCopy bounds")
+	}
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = src.Get(t, srcPos+i)
+	}
+	for i := 0; i < n; i++ {
+		dst.Set(t, dstPos+i, tmp[i])
+	}
+}

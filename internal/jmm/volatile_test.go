@@ -1,0 +1,150 @@
+package jmm
+
+import (
+	"testing"
+
+	"repro/internal/threads"
+)
+
+func TestVolatileBypassesCache(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		rt, h := newWorld(t, 2, proto)
+		rt.Main(func(main *threads.Thread) {
+			v := h.NewVolatileI64(main, 0)
+			v.Set(main, 10)
+
+			w := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+				// A remote volatile read sees main memory immediately,
+				// with no monitor and no page in the cache.
+				if got := v.Get(w); got != 10 {
+					t.Errorf("%s: initial volatile read = %d", proto, got)
+				}
+				v.Set(w, 20)
+				// The write is synchronous: re-reading must observe it.
+				if got := v.Get(w); got != 20 {
+					t.Errorf("%s: read-own-volatile-write = %d", proto, got)
+				}
+			})
+			rt.Join(main, w)
+			if got := v.Get(main); got != 20 {
+				t.Errorf("%s: home read after remote volatile write = %d", proto, got)
+			}
+		})
+		s := rt.Engine().Cluster().Counters().Snapshot()
+		if s.PageFetches != 0 || s.PageFaults != 0 {
+			t.Errorf("%s: volatile access went through the page cache: %+v", proto, s)
+		}
+	}
+}
+
+func TestVolatileSeesConcurrentUpdatesWithoutMonitors(t *testing.T) {
+	// The staleness test: a cached regular field keeps its old value
+	// until a monitor boundary; a volatile field does not.
+	rt, h := newWorld(t, 2, "java_pf")
+	rt.Main(func(main *threads.Thread) {
+		regular := h.NewI64Array(main, 0, 1)
+		vol := h.NewVolatileI64(main, 0)
+
+		w := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+			_ = regular.Get(w, 0) // cache the page
+			_ = vol.Get(w)
+		})
+		rt.Join(main, w)
+
+		regular.Set(main, 0, 5)
+		vol.Set(main, 5)
+
+		w2 := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+			if got := vol.Get(w); got != 5 {
+				t.Errorf("volatile read = %d, want 5", got)
+			}
+		})
+		rt.Join(main, w2)
+	})
+}
+
+func TestVolatileF64(t *testing.T) {
+	rt, h := newWorld(t, 2, "java_ic")
+	rt.Main(func(main *threads.Thread) {
+		v := h.NewVolatileF64(main, 1)
+		v.Set(main, 2.718281828)
+		w := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+			if got := v.Get(w); got != 2.718281828 {
+				t.Errorf("volatile double = %v", got)
+			}
+		})
+		rt.Join(main, w)
+	})
+}
+
+func TestVolatileRemoteCostsOneRoundTrip(t *testing.T) {
+	rt, h := newWorld(t, 2, "java_pf")
+	lat := rt.Engine().Cluster().Config().Net.Latency
+	rt.Main(func(main *threads.Thread) {
+		v := h.NewVolatileI64(main, 0)
+		w := rt.SpawnOn(main, 1, func(w *threads.Thread) {
+			t0 := w.Now()
+			v.Get(w)
+			if cost := w.Now().Sub(t0); cost < 2*lat {
+				t.Errorf("remote volatile read cost %v, below a round trip (2x%v)", cost, lat)
+			}
+			t1 := w.Now()
+			v.Set(w, 1)
+			if cost := w.Now().Sub(t1); cost < 2*lat {
+				t.Errorf("remote volatile write cost %v, below a round trip", cost)
+			}
+		})
+		rt.Join(main, w)
+	})
+}
+
+func TestArrayCopy(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		rt, h := newWorld(t, 2, proto)
+		rt.Main(func(main *threads.Thread) {
+			src := h.NewF64Array(main, 0, 10)
+			dst := h.NewF64Array(main, 1, 10)
+			for i := 0; i < 10; i++ {
+				src.Set(main, i, float64(i))
+			}
+			ArrayCopy(main, src, 2, dst, 5, 4)
+			for i := 0; i < 4; i++ {
+				if got := dst.Get(main, 5+i); got != float64(2+i) {
+					t.Errorf("%s: dst[%d] = %v", proto, 5+i, got)
+				}
+			}
+			if dst.Get(main, 4) != 0 || dst.Get(main, 9) != 0 {
+				t.Errorf("%s: ArrayCopy touched cells outside the range", proto)
+			}
+			// Overlapping self-copy behaves as if staged.
+			ArrayCopy(main, src, 0, src, 1, 5)
+			want := []float64{0, 0, 1, 2, 3, 4, 6, 7, 8, 9}
+			for i, v := range want {
+				if got := src.Get(main, i); got != v {
+					t.Errorf("%s: overlap src[%d] = %v, want %v", proto, i, got, v)
+				}
+			}
+		})
+	}
+}
+
+func TestArrayCopyBounds(t *testing.T) {
+	rt, h := newWorld(t, 1, "java_pf")
+	rt.Main(func(main *threads.Thread) {
+		a := h.NewF64Array(main, 0, 5)
+		for _, fn := range []func(){
+			func() { ArrayCopy(main, a, 0, a, 0, -1) },
+			func() { ArrayCopy(main, a, 3, a, 0, 3) },
+			func() { ArrayCopy(main, a, 0, a, 4, 2) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("expected panic")
+					}
+				}()
+				fn()
+			}()
+		}
+	})
+}

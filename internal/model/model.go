@@ -1,0 +1,197 @@
+// Package model defines the machine and cluster cost models for the
+// Hyperion-Go simulator, including presets for the two platforms of the
+// paper's evaluation: a 12-node 200 MHz Pentium Pro cluster on BIP/Myrinet
+// and a 6-node 450 MHz Pentium II cluster on SISCI/SCI.
+//
+// Compute costs are expressed in CPU cycles plus an optional fixed
+// memory-latency component in nanoseconds. The memory component does not
+// scale with the processor clock; this reproduces the paper's observation
+// that removing in-line checks matters relatively less on the faster SCI
+// cluster (§4.3): the checks are pure register/cache work and shrink with
+// the clock, while part of each loop iteration is bound by DRAM latency
+// and does not.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+// Machine describes one node's processor and OS timing characteristics.
+type Machine struct {
+	Name     string
+	ClockMHz float64
+
+	// MemLatency is the cost of a cache-missing memory touch, charged by
+	// application kernels for their per-iteration DRAM component. It is
+	// a property of the memory system, not the core clock.
+	MemLatency vtime.Duration
+
+	// PageFault is the measured cost of taking a page fault (trap,
+	// kernel entry, handler dispatch). The paper reports 22 us on the
+	// Myrinet cluster machines and 12 us on the SCI cluster machines.
+	PageFault vtime.Duration
+
+	// Mprotect is the cost of one mprotect system call changing the
+	// access rights of a page range.
+	Mprotect vtime.Duration
+
+	// CheckCycles is the cost, in cycles, of one in-line object
+	// locality check on this processor (load of the locality
+	// descriptor, compare, predicted branch). It is machine-specific:
+	// wider, more deeply speculative cores hide more of the check under
+	// surrounding work, which is why the paper observes a smaller
+	// benefit from removing checks on the faster SCI-cluster
+	// processors (§4.3).
+	CheckCycles float64
+}
+
+// Cycle returns the duration of one CPU clock cycle.
+func (m Machine) Cycle() vtime.Duration {
+	if m.ClockMHz <= 0 {
+		panic(fmt.Sprintf("model: machine %q has clock %v MHz", m.Name, m.ClockMHz))
+	}
+	// 1 cycle = 1e6/MHz picoseconds (e.g. 5000 ps at 200 MHz).
+	return vtime.Duration(1e6 / m.ClockMHz)
+}
+
+// Cycles returns the duration of n CPU cycles.
+func (m Machine) Cycles(n float64) vtime.Duration {
+	return vtime.Duration(n * float64(m.Cycle()))
+}
+
+// Cluster is a complete experimental platform: identical machines joined
+// by an interconnect.
+type Cluster struct {
+	Name     string
+	Machine  Machine
+	Net      netsim.Model
+	MaxNodes int
+	PageSize int
+}
+
+func (c Cluster) String() string {
+	return fmt.Sprintf("%s (%dx %.0fMHz, %s)", c.Name, c.MaxNodes, c.Machine.ClockMHz, c.Net.Name)
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Cluster) Validate() error {
+	switch {
+	case c.MaxNodes <= 0:
+		return fmt.Errorf("model: cluster %q: MaxNodes = %d", c.Name, c.MaxNodes)
+	case c.PageSize <= 0 || c.PageSize&(c.PageSize-1) != 0:
+		return fmt.Errorf("model: cluster %q: page size %d is not a positive power of two", c.Name, c.PageSize)
+	case c.Machine.ClockMHz <= 0:
+		return fmt.Errorf("model: cluster %q: clock %v MHz", c.Name, c.Machine.ClockMHz)
+	case c.Machine.PageFault <= 0 || c.Machine.Mprotect <= 0:
+		return fmt.Errorf("model: cluster %q: non-positive fault/mprotect cost", c.Name)
+	case c.Machine.CheckCycles <= 0:
+		return fmt.Errorf("model: cluster %q: non-positive locality-check cost", c.Name)
+	}
+	return nil
+}
+
+// Myrinet200 returns the paper's first platform: twelve 200 MHz Pentium
+// Pro machines running Linux 2.2, interconnected by Myrinet using BIP.
+// The page-fault cost of 22 us is taken directly from §4.2.
+func Myrinet200() Cluster {
+	return Cluster{
+		Name: "200MHz/Myrinet",
+		Machine: Machine{
+			Name:       "PentiumPro200",
+			ClockMHz:   200,
+			MemLatency: vtime.Nano(180), // ~36 cycles of EDO DRAM miss latency
+			PageFault:  vtime.Micro(22),
+			Mprotect:   vtime.Micro(6),
+			// In-order-ish PPro pipeline: the check costs its full
+			// latency.
+			CheckCycles: 8,
+		},
+		Net:      netsim.BIPMyrinet(),
+		MaxNodes: 12,
+		PageSize: 4096,
+	}
+}
+
+// SCI450 returns the paper's second platform: six 450 MHz Pentium II
+// machines running Linux 2.2, interconnected by SCI using SISCI. The
+// page-fault cost of 12 us is taken directly from §4.2.
+func SCI450() Cluster {
+	return Cluster{
+		Name: "450MHz/SCI",
+		Machine: Machine{
+			Name:       "PentiumII450",
+			ClockMHz:   450,
+			MemLatency: vtime.Nano(140), // SDRAM; latency improves less than clock
+			PageFault:  vtime.Micro(12),
+			Mprotect:   vtime.Micro(3),
+			// Deeper PII speculation overlaps most of the check with
+			// surrounding work.
+			CheckCycles: 4,
+		},
+		Net:      netsim.SISCISCI(),
+		MaxNodes: 6,
+		PageSize: 4096,
+	}
+}
+
+// CommodityTCP returns a contrast platform (not in the paper): the same
+// 450 MHz machines on 100 Mb/s Ethernet with TCP. Used by the ablation
+// benchmarks to show how the protocol tradeoff shifts when communication
+// becomes very expensive.
+func CommodityTCP() Cluster {
+	c := SCI450()
+	c.Name = "450MHz/TCP"
+	c.Net = netsim.TCPFastEthernet()
+	return c
+}
+
+// Clusters returns the two platforms evaluated in the paper, in the order
+// they appear in the figures.
+func Clusters() []Cluster {
+	return []Cluster{Myrinet200(), SCI450()}
+}
+
+// DSMCosts bundles the protocol-engine cost parameters that are common to
+// all protocols. They are charged by the DSM engine in addition to the
+// protocol-specific detection costs.
+type DSMCosts struct {
+	// CacheLookupCycles is the cost of the cache-table lookup performed
+	// on a known-nonlocal access to find/install the cached page copy.
+	CacheLookupCycles float64
+
+	// ServiceCycles is the CPU cost at the home node to service a page
+	// request or apply a diff message, excluding wire time.
+	ServiceCycles float64
+
+	// DiffPerByteCycles is the per-byte cost of building/applying a
+	// field-granularity modification record.
+	DiffPerByteCycles float64
+
+	// InvalidateEntryCycles is the per-cached-page cost of dropping a
+	// cache entry on monitor entry for java_ic (clearing presence bits).
+	InvalidateEntryCycles float64
+
+	// CacheCapacityPages bounds the number of remote pages a node may
+	// cache simultaneously; 0 means unlimited (the paper's runs fit in
+	// memory). When the cache is full the oldest entry is evicted:
+	// pending modifications are flushed home first so no thread loses
+	// its own writes.
+	CacheCapacityPages int
+}
+
+// DefaultDSMCosts returns the engine cost parameters used for all
+// experiments. Together with the per-machine CheckCycles they are the
+// calibration constants under which the measured improvement of java_pf
+// over java_ic reproduces the paper's 38% (Jacobi) to 64% (ASP) range on
+// the 200 MHz cluster.
+func DefaultDSMCosts() DSMCosts {
+	return DSMCosts{
+		CacheLookupCycles:     12,
+		ServiceCycles:         400,
+		DiffPerByteCycles:     0.75,
+		InvalidateEntryCycles: 4,
+	}
+}

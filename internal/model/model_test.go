@@ -1,0 +1,126 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestClusterPresets(t *testing.T) {
+	my := Myrinet200()
+	sci := SCI450()
+
+	// §4.2 of the paper: page-fault costs of 22 us (Myrinet machines)
+	// and 12 us (SCI machines).
+	if my.Machine.PageFault != vtime.Micro(22) {
+		t.Errorf("Myrinet page fault = %v, want 22us", my.Machine.PageFault)
+	}
+	if sci.Machine.PageFault != vtime.Micro(12) {
+		t.Errorf("SCI page fault = %v, want 12us", sci.Machine.PageFault)
+	}
+	if my.MaxNodes != 12 {
+		t.Errorf("Myrinet cluster has %d nodes, want 12", my.MaxNodes)
+	}
+	if sci.MaxNodes != 6 {
+		t.Errorf("SCI cluster has %d nodes, want 6", sci.MaxNodes)
+	}
+	if my.Machine.ClockMHz != 200 || sci.Machine.ClockMHz != 450 {
+		t.Error("clock rates must match the paper (200/450 MHz)")
+	}
+	for _, c := range []Cluster{my, sci, CommodityTCP()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestCycleDurations(t *testing.T) {
+	if got := Myrinet200().Machine.Cycle(); got != 5000 { // 5 ns in ps
+		t.Errorf("200MHz cycle = %d ps, want 5000", got)
+	}
+	if got := SCI450().Machine.Cycle(); got != 2222 {
+		t.Errorf("450MHz cycle = %d ps, want 2222", got)
+	}
+	m := Machine{Name: "x", ClockMHz: 1000}
+	if m.Cycles(3) != 3*vtime.Nanosecond {
+		t.Errorf("Cycles(3)@1GHz = %v", m.Cycles(3))
+	}
+}
+
+func TestCyclePanicsOnZeroClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Machine{}.Cycle()
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := Myrinet200()
+
+	c := base
+	c.MaxNodes = 0
+	if c.Validate() == nil {
+		t.Error("MaxNodes=0 accepted")
+	}
+	c = base
+	c.PageSize = 3000
+	if c.Validate() == nil {
+		t.Error("non-power-of-two page size accepted")
+	}
+	c = base
+	c.Machine.ClockMHz = 0
+	if c.Validate() == nil {
+		t.Error("zero clock accepted")
+	}
+	c = base
+	c.Machine.PageFault = 0
+	if c.Validate() == nil {
+		t.Error("zero fault cost accepted")
+	}
+}
+
+func TestMemLatencyScalesSlowerThanClock(t *testing.T) {
+	my, sci := Myrinet200(), SCI450()
+	clockRatio := sci.Machine.ClockMHz / my.Machine.ClockMHz // 2.25
+	memRatio := float64(my.Machine.MemLatency) / float64(sci.Machine.MemLatency)
+	if memRatio >= clockRatio {
+		t.Errorf("memory latency improved (%.2fx) at least as much as clock (%.2fx); the SCI-cluster effect in §4.3 depends on it improving less", memRatio, clockRatio)
+	}
+	if memRatio <= 1 {
+		t.Errorf("memory latency should still improve somewhat (ratio %.2f)", memRatio)
+	}
+}
+
+func TestClustersOrder(t *testing.T) {
+	cs := Clusters()
+	if len(cs) != 2 || cs[0].Name != "200MHz/Myrinet" || cs[1].Name != "450MHz/SCI" {
+		t.Fatalf("Clusters() = %v", cs)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	s := Myrinet200().String()
+	if !strings.Contains(s, "200MHz/Myrinet") || !strings.Contains(s, "12x") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDefaultDSMCosts(t *testing.T) {
+	c := DefaultDSMCosts()
+	if c.CacheLookupCycles <= 0 || c.ServiceCycles <= 0 || c.DiffPerByteCycles <= 0 {
+		t.Fatalf("non-positive cost in %+v", c)
+	}
+	// The check must be much cheaper than a page fault, or the whole
+	// tradeoff the paper studies disappears.
+	my := Myrinet200().Machine
+	if my.Cycles(my.CheckCycles) >= my.PageFault/100 {
+		t.Errorf("check cost %v is too close to fault cost %v", my.Cycles(my.CheckCycles), my.PageFault)
+	}
+	// The PII hides more of the check than the PPro.
+	if SCI450().Machine.CheckCycles >= Myrinet200().Machine.CheckCycles {
+		t.Error("SCI-cluster processors should spend fewer cycles per check (see §4.3)")
+	}
+}

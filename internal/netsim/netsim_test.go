@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func TestModelPresets(t *testing.T) {
+	bip := BIPMyrinet()
+	sci := SISCISCI()
+	tcp := TCPFastEthernet()
+
+	if bip.Latency >= tcp.Latency {
+		t.Error("Myrinet latency should be far below TCP")
+	}
+	if sci.Latency >= bip.Latency {
+		t.Error("SCI latency should be below Myrinet (remote-memory NIC)")
+	}
+	if b := bip.Bandwidth(); b < 100 || b > 150 {
+		t.Errorf("BIP/Myrinet bandwidth = %.1f MB/s, want ~125", b)
+	}
+	if b := sci.Bandwidth(); b < 60 || b > 100 {
+		t.Errorf("SISCI/SCI bandwidth = %.1f MB/s, want ~83", b)
+	}
+	if b := tcp.Bandwidth(); b < 10 || b > 15 {
+		t.Errorf("TCP bandwidth = %.1f MB/s, want ~12.5", b)
+	}
+	if !strings.Contains(bip.String(), "BIP/Myrinet") {
+		t.Errorf("String() = %q", bip.String())
+	}
+}
+
+func TestBandwidthZero(t *testing.T) {
+	if (Model{}).Bandwidth() != 0 {
+		t.Error("zero model should report zero bandwidth")
+	}
+}
+
+func TestSendTiming(t *testing.T) {
+	m := Model{
+		Name:         "unit",
+		Latency:      10 * vtime.Nanosecond,
+		PerByte:      2 * vtime.Nanosecond,
+		SendOverhead: 5 * vtime.Nanosecond,
+		RecvOverhead: 7 * vtime.Nanosecond,
+	}
+	nw := NewNetwork(2, m)
+	free, del := nw.Send(0, 1, 100, 0)
+	// tx occupancy = 5 + 100*2 = 205ns; arrival = 215ns; delivered = 222ns.
+	if free != vtime.Time(205*vtime.Nanosecond) {
+		t.Errorf("senderFree = %v, want 205ns", free)
+	}
+	if del != vtime.Time(222*vtime.Nanosecond) {
+		t.Errorf("delivered = %v, want 222ns", del)
+	}
+}
+
+func TestSendSelfLoopback(t *testing.T) {
+	m := BIPMyrinet()
+	nw := NewNetwork(3, m)
+	free, del := nw.Send(1, 1, 4096, vtime.Time(100))
+	if free != vtime.Time(100).Add(m.SendOverhead) {
+		t.Errorf("self-send senderFree = %v", free)
+	}
+	if del != free.Add(m.RecvOverhead) {
+		t.Errorf("self-send delivered = %v", del)
+	}
+	// Loopback must not occupy the NIC.
+	if nw.NICUtilization(1) != 0 {
+		t.Errorf("loopback occupied NIC: %v", nw.NICUtilization(1))
+	}
+}
+
+func TestSendIsOrderIndependent(t *testing.T) {
+	// Timing must be purely functional: the same message yields the same
+	// times no matter what other traffic was issued before it (the
+	// simulator's goroutines call Send in arbitrary real-time order).
+	m := BIPMyrinet()
+	nw := NewNetwork(3, m)
+	_, want := nw.Send(0, 1, 512, vtime.Time(vtime.Micro(100)))
+	for i := 0; i < 50; i++ {
+		nw.Send(0, 2, 4096, vtime.Time(vtime.Micro(5000))) // later traffic
+		nw.Send(2, 1, 64, 0)                               // earlier traffic
+	}
+	_, got := nw.Send(0, 1, 512, vtime.Time(vtime.Micro(100)))
+	if got != want {
+		t.Fatalf("delivery time changed with unrelated traffic: %v vs %v", got, want)
+	}
+}
+
+func TestSendTimingComponents(t *testing.T) {
+	m := Model{Latency: 10 * vtime.Nanosecond, PerByte: vtime.Nanosecond, SendOverhead: 5 * vtime.Nanosecond, RecvOverhead: 7 * vtime.Nanosecond}
+	nw := NewNetwork(2, m)
+	free, del := nw.Send(0, 1, 100, vtime.Time(1000))
+	if free != vtime.Time(1000).Add(m.SendOverhead+100*m.PerByte) {
+		t.Errorf("senderFree = %v", free)
+	}
+	if del != free.Add(m.Latency+m.RecvOverhead) {
+		t.Errorf("delivered = %v", del)
+	}
+	if nw.NICUtilization(0) != m.SendOverhead+100*m.PerByte {
+		t.Errorf("NIC utilization = %v", nw.NICUtilization(0))
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	nw := NewNetwork(2, BIPMyrinet())
+	nw.Send(0, 1, 100, 0)
+	nw.Send(1, 0, 50, 0)
+	msgs, bytes := nw.Stats()
+	if msgs != 2 || bytes != 150 {
+		t.Fatalf("stats = %d msgs / %d bytes", msgs, bytes)
+	}
+	nw.Reset()
+	msgs, bytes = nw.Stats()
+	if msgs != 0 || bytes != 0 {
+		t.Fatalf("stats after reset = %d/%d", msgs, bytes)
+	}
+	if nw.NICUtilization(0) != 0 {
+		t.Fatal("NIC utilization not reset")
+	}
+}
+
+func TestSendPanics(t *testing.T) {
+	nw := NewNetwork(2, BIPMyrinet())
+	for _, fn := range []func(){
+		func() { nw.Send(-1, 0, 1, 0) },
+		func() { nw.Send(0, 5, 1, 0) },
+		func() { nw.Send(0, 1, -1, 0) },
+		func() { NewNetwork(0, BIPMyrinet()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: delivery never precedes initiation plus the model's fixed
+// costs, and a bigger message from the same idle state never arrives
+// earlier than a smaller one.
+func TestSendMonotoneInSizeProperty(t *testing.T) {
+	m := BIPMyrinet()
+	f := func(size1, size2 uint16, at uint32) bool {
+		s1, s2 := int(size1), int(size2)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		nwA := NewNetwork(2, m)
+		nwB := NewNetwork(2, m)
+		_, d1 := nwA.Send(0, 1, s1, vtime.Time(at))
+		_, d2 := nwB.Send(0, 1, s2, vtime.Time(at))
+		minCost := m.SendOverhead + m.Latency + m.RecvOverhead
+		if d1 < vtime.Time(at).Add(minCost) {
+			return false
+		}
+		return d2 >= d1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSendsSafe(t *testing.T) {
+	nw := NewNetwork(8, SISCISCI())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				nw.Send(i, (i+j)%8, j%1500, vtime.Time(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	msgs, _ := nw.Stats()
+	if msgs != 8*500 {
+		t.Fatalf("messages = %d", msgs)
+	}
+}

@@ -1,0 +1,165 @@
+// Package pages implements the iso-address paged global memory underneath
+// the Hyperion-Go DSM, mirroring the PM2 allocation scheme described in
+// §3.1 of the paper: every shared object lives at the same virtual address
+// on all nodes, so references are plain pointers that stay valid across
+// page replication and thread migration.
+//
+// The global address space is statically partitioned into per-node
+// regions; the node owning a region is the *home node* of every page in
+// it. Allocation is a per-node bump allocator inside the node's region —
+// exactly what an iso-address allocator does, and what gives Hyperion its
+// "objects are homed where they are allocated" placement policy.
+package pages
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Addr is a global address in the shared space. Address 0 is reserved as
+// the nil reference.
+type Addr uint64
+
+// PageID identifies one page of the global space.
+type PageID uint64
+
+// Access is the simulated protection state of a page mapping on one node.
+type Access uint8
+
+const (
+	// NoAccess marks a page that is not mapped (or protected) on a node;
+	// touching it under the page-fault protocol raises a simulated fault.
+	NoAccess Access = iota
+	// ReadWrite marks a page mapped with full access rights.
+	ReadWrite
+)
+
+func (a Access) String() string {
+	if a == ReadWrite {
+		return "rw"
+	}
+	return "none"
+}
+
+// Space describes a paged global address space partitioned among nodes.
+type Space struct {
+	pageSize  int
+	pageShift uint
+	nodes     int
+	// regionPages is the number of pages in each node's region.
+	regionPages uint64
+}
+
+// DefaultRegionPages gives each node a 1 GiB region with 4 KiB pages —
+// vastly more than any benchmark allocates, so exhaustion means a bug.
+const DefaultRegionPages = 1 << 18
+
+// NewSpace creates an address space for n nodes with the given page size
+// (a power of two).
+func NewSpace(n, pageSize int) *Space {
+	if n <= 0 {
+		panic(fmt.Sprintf("pages: %d nodes", n))
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("pages: page size %d not a positive power of two", pageSize))
+	}
+	return &Space{
+		pageSize:    pageSize,
+		pageShift:   uint(bits.TrailingZeros(uint(pageSize))),
+		nodes:       n,
+		regionPages: DefaultRegionPages,
+	}
+}
+
+// PageSize reports the page size in bytes.
+func (s *Space) PageSize() int { return s.pageSize }
+
+// Nodes reports the number of nodes sharing the space.
+func (s *Space) Nodes() int { return s.nodes }
+
+// PageOf returns the page containing addr.
+func (s *Space) PageOf(a Addr) PageID { return PageID(uint64(a) >> s.pageShift) }
+
+// Offset returns addr's offset within its page.
+func (s *Space) Offset(a Addr) int { return int(uint64(a) & uint64(s.pageSize-1)) }
+
+// Base returns the first address of page p.
+func (s *Space) Base(p PageID) Addr { return Addr(uint64(p) << s.pageShift) }
+
+// Home returns the home node of page p: the node whose region contains it.
+func (s *Space) Home(p PageID) int {
+	n := int(uint64(p) / s.regionPages)
+	if n >= s.nodes {
+		panic(fmt.Sprintf("pages: page %d outside any node region", p))
+	}
+	return n
+}
+
+// HomeOf returns the home node of the page containing addr.
+func (s *Space) HomeOf(a Addr) int { return s.Home(s.PageOf(a)) }
+
+// regionFirstPage returns the first page of node n's region.
+func (s *Space) regionFirstPage(node int) PageID {
+	return PageID(uint64(node) * s.regionPages)
+}
+
+// Allocator hands out iso-addresses from per-node regions. It is safe for
+// concurrent use.
+type Allocator struct {
+	space *Space
+	mu    sync.Mutex
+	// next holds, per node, the next free offset (in bytes) within the
+	// node's region. Offset 0 of node 0's region is skipped so that
+	// address 0 remains the nil reference.
+	next []uint64
+}
+
+// NewAllocator creates an allocator over the given space.
+func NewAllocator(s *Space) *Allocator {
+	a := &Allocator{space: s, next: make([]uint64, s.nodes)}
+	a.next[0] = 16 // reserve the null address (and keep alignment)
+	return a
+}
+
+// Alloc reserves size bytes homed at the given node, aligned to align
+// bytes (a power of two, at least 1). Objects never straddle their
+// region's end; an object larger than a page simply spans consecutive
+// pages of the same home, which is how Hyperion lays out big arrays.
+func (a *Allocator) Alloc(node, size, align int) (Addr, error) {
+	if node < 0 || node >= a.space.nodes {
+		return 0, fmt.Errorf("pages: alloc on node %d of %d", node, a.space.nodes)
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("pages: alloc size %d", size)
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("pages: alignment %d not a power of two", align)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	off := (a.next[node] + uint64(align-1)) &^ uint64(align-1)
+	end := off + uint64(size)
+	regionBytes := a.space.regionPages * uint64(a.space.pageSize)
+	if end > regionBytes {
+		return 0, fmt.Errorf("pages: node %d region exhausted (%d of %d bytes)", node, end, regionBytes)
+	}
+	a.next[node] = end
+	base := uint64(a.space.Base(a.space.regionFirstPage(node)))
+	return Addr(base + off), nil
+}
+
+// AllocPageAligned reserves size bytes homed at node, starting on a fresh
+// page boundary. Hyperion uses this for thread-private blocks (e.g. the
+// row blocks of Jacobi and ASP) so that false sharing between threads'
+// data is avoided.
+func (a *Allocator) AllocPageAligned(node, size int) (Addr, error) {
+	return a.Alloc(node, size, a.space.pageSize)
+}
+
+// Allocated reports the number of bytes allocated so far on a node.
+func (a *Allocator) Allocated(node int) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next[node]
+}

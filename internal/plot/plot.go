@@ -1,0 +1,203 @@
+// Package plot renders execution-time-vs-nodes curves as ASCII charts and
+// CSV, the output formats of the figure-regeneration tools.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	Marker byte
+}
+
+// markers cycles through distinct plot characters.
+var markers = []byte{'o', '+', 'x', '*', '#', '@'}
+
+// ASCII renders the series into a width x height character chart with
+// axes and a legend, similar in spirit to gnuplot's dumb terminal.
+func ASCII(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, maxY = 0, 1, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	minY := 0.0 // the paper's figures all start at 0
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+
+	for si, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = markers[si%len(markers)]
+		}
+		// Connect consecutive points with linear interpolation.
+		for i := 1; i < len(s.X); i++ {
+			drawLine(grid, toCol(s.X[i-1]), toRow(s.Y[i-1]), toCol(s.X[i]), toRow(s.Y[i]), '.')
+		}
+		for i := range s.X {
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yLab := fmt.Sprintf("%s (0..%.3g)", ylabel, maxY)
+	fmt.Fprintf(&b, "%s\n", yLab)
+	for r := 0; r < height; r++ {
+		b.WriteString("|")
+		b.Write(grid[r])
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " %s: %.3g .. %.3g\n", xlabel, minX, maxX)
+	for si, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = markers[si%len(markers)]
+		}
+		fmt.Fprintf(&b, "  %c  %s\n", m, s.Label)
+	}
+	return b.String()
+}
+
+// CSV renders the series as rows of x,label1,label2,...
+func CSV(xlabel string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(xlabel)
+	for _, s := range series {
+		b.WriteString(",")
+		b.WriteString(strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	b.WriteString("\n")
+	// Collect the union of x values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sortFloats(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			v, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, ",%g", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawLine draws a Bresenham segment with the given rune, not overwriting
+// existing markers.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := sign(x1-x0), sign(y1-y0)
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' {
+			grid[y0][x0] = ch
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

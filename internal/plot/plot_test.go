@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Label: "a", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+		{Label: "b", X: []float64{1, 2, 3, 4}, Y: []float64{2, 1.5, 1.2, 1}},
+	}
+}
+
+func TestASCIIContainsStructure(t *testing.T) {
+	out := ASCII("title", "nodes", "seconds", twoSeries(), 40, 10)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "nodes: 1 .. 4") {
+		t.Errorf("missing x range: %q", out)
+	}
+	if !strings.Contains(out, "o  a") || !strings.Contains(out, "+  b") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Error("missing markers")
+	}
+	// The chart body must have the requested height.
+	lines := strings.Split(out, "\n")
+	body := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			body++
+		}
+	}
+	if body != 10 {
+		t.Errorf("chart body = %d rows, want 10", body)
+	}
+}
+
+func TestASCIIEmptyAndDegenerate(t *testing.T) {
+	if out := ASCII("t", "x", "y", nil, 30, 8); out == "" {
+		t.Error("empty series should still render axes")
+	}
+	// Single point, zero Y.
+	s := []Series{{Label: "p", X: []float64{5}, Y: []float64{0}}}
+	if out := ASCII("t", "x", "y", s, 30, 8); !strings.Contains(out, "p") {
+		t.Error("single-point series lost")
+	}
+}
+
+func TestASCIIMinimumDimensions(t *testing.T) {
+	out := ASCII("t", "x", "y", twoSeries(), 1, 1) // clamped up
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Error("dimensions not clamped to minimum")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV("nodes", twoSeries())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "nodes,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("rows = %d, want 5", len(lines))
+	}
+	if lines[1] != "1,4,2" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestCSVUnevenSeries(t *testing.T) {
+	s := []Series{
+		{Label: "long", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+		{Label: "short", X: []float64{2}, Y: []float64{9}},
+	}
+	out := CSV("x", s)
+	if !strings.Contains(out, "1,1,\n") {
+		t.Errorf("missing-value row malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "2,2,9\n") {
+		t.Errorf("shared x row malformed:\n%s", out)
+	}
+	// Labels with commas are sanitized.
+	s[0].Label = "a,b"
+	if !strings.Contains(CSV("x", s), "a;b") {
+		t.Error("comma in label not sanitized")
+	}
+}
+
+func TestHelperFunctions(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	sortFloats(xs)
+	if xs[0] != 1 || xs[2] != 3 {
+		t.Errorf("sortFloats: %v", xs)
+	}
+	if clamp(5, 0, 3) != 3 || clamp(-1, 0, 3) != 0 || clamp(2, 0, 3) != 2 {
+		t.Error("clamp")
+	}
+	if abs(-4) != 4 || abs(4) != 4 {
+		t.Error("abs")
+	}
+	if sign(-9) != -1 || sign(9) != 1 || sign(0) != 0 {
+		t.Error("sign")
+	}
+}
+
+func TestDrawLineStaysInBounds(t *testing.T) {
+	grid := make([][]byte, 5)
+	for i := range grid {
+		grid[i] = []byte("     ")
+	}
+	drawLine(grid, 0, 0, 4, 4, '.')
+	drawLine(grid, 4, 0, 0, 4, ':')
+	count := 0
+	for _, row := range grid {
+		for _, c := range row {
+			if c != ' ' {
+				count++
+			}
+		}
+	}
+	if count < 5 {
+		t.Errorf("lines drew only %d cells", count)
+	}
+}

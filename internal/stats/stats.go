@@ -1,0 +1,164 @@
+// Package stats collects the protocol-event counters that the paper's
+// discussion section (§4.3) reasons about: locality checks performed by
+// java_ic, page faults and mprotect calls performed by java_pf, page
+// fetches, diff traffic, and monitor activity.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counters accumulates protocol events across all nodes of a run. All
+// methods are safe for concurrent use.
+type Counters struct {
+	localityChecks  atomic.Int64
+	pageFaults      atomic.Int64
+	mprotectCalls   atomic.Int64
+	pageFetches     atomic.Int64
+	cacheHits       atomic.Int64
+	invalidations   atomic.Int64 // cache entries dropped
+	diffMessages    atomic.Int64
+	diffBytes       atomic.Int64
+	monitorAcquires atomic.Int64
+	remoteAcquires  atomic.Int64
+	rpcs            atomic.Int64
+	spawns          atomic.Int64
+	migrations      atomic.Int64
+}
+
+// The Add* methods record events.
+
+func (c *Counters) AddLocalityChecks(n int64)  { c.localityChecks.Add(n) }
+func (c *Counters) AddPageFaults(n int64)      { c.pageFaults.Add(n) }
+func (c *Counters) AddMprotectCalls(n int64)   { c.mprotectCalls.Add(n) }
+func (c *Counters) AddPageFetches(n int64)     { c.pageFetches.Add(n) }
+func (c *Counters) AddCacheHits(n int64)       { c.cacheHits.Add(n) }
+func (c *Counters) AddInvalidations(n int64)   { c.invalidations.Add(n) }
+func (c *Counters) AddDiffMessage(bytes int64) { c.diffMessages.Add(1); c.diffBytes.Add(bytes) }
+func (c *Counters) AddMonitorAcquire(remote bool) {
+	c.monitorAcquires.Add(1)
+	if remote {
+		c.remoteAcquires.Add(1)
+	}
+}
+func (c *Counters) AddRPCs(n int64)       { c.rpcs.Add(n) }
+func (c *Counters) AddSpawns(n int64)     { c.spawns.Add(n) }
+func (c *Counters) AddMigrations(n int64) { c.migrations.Add(n) }
+
+// Snapshot is an immutable copy of the counters at one instant.
+type Snapshot struct {
+	LocalityChecks  int64
+	PageFaults      int64
+	MprotectCalls   int64
+	PageFetches     int64
+	CacheHits       int64
+	Invalidations   int64
+	DiffMessages    int64
+	DiffBytes       int64
+	MonitorAcquires int64
+	RemoteAcquires  int64
+	RPCs            int64
+	Spawns          int64
+	Migrations      int64
+}
+
+// Snapshot captures the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		LocalityChecks:  c.localityChecks.Load(),
+		PageFaults:      c.pageFaults.Load(),
+		MprotectCalls:   c.mprotectCalls.Load(),
+		PageFetches:     c.pageFetches.Load(),
+		CacheHits:       c.cacheHits.Load(),
+		Invalidations:   c.invalidations.Load(),
+		DiffMessages:    c.diffMessages.Load(),
+		DiffBytes:       c.diffBytes.Load(),
+		MonitorAcquires: c.monitorAcquires.Load(),
+		RemoteAcquires:  c.remoteAcquires.Load(),
+		RPCs:            c.rpcs.Load(),
+		Spawns:          c.spawns.Load(),
+		Migrations:      c.migrations.Load(),
+	}
+}
+
+// Sub returns the per-field difference s - o, for measuring one phase of
+// a run.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		LocalityChecks:  s.LocalityChecks - o.LocalityChecks,
+		PageFaults:      s.PageFaults - o.PageFaults,
+		MprotectCalls:   s.MprotectCalls - o.MprotectCalls,
+		PageFetches:     s.PageFetches - o.PageFetches,
+		CacheHits:       s.CacheHits - o.CacheHits,
+		Invalidations:   s.Invalidations - o.Invalidations,
+		DiffMessages:    s.DiffMessages - o.DiffMessages,
+		DiffBytes:       s.DiffBytes - o.DiffBytes,
+		MonitorAcquires: s.MonitorAcquires - o.MonitorAcquires,
+		RemoteAcquires:  s.RemoteAcquires - o.RemoteAcquires,
+		RPCs:            s.RPCs - o.RPCs,
+		Spawns:          s.Spawns - o.Spawns,
+		Migrations:      s.Migrations - o.Migrations,
+	}
+}
+
+// Fields returns the snapshot as name/value pairs in a stable order, for
+// table output.
+func (s Snapshot) Fields() []struct {
+	Name  string
+	Value int64
+} {
+	m := map[string]int64{
+		"locality_checks":  s.LocalityChecks,
+		"page_faults":      s.PageFaults,
+		"mprotect_calls":   s.MprotectCalls,
+		"page_fetches":     s.PageFetches,
+		"cache_hits":       s.CacheHits,
+		"invalidations":    s.Invalidations,
+		"diff_messages":    s.DiffMessages,
+		"diff_bytes":       s.DiffBytes,
+		"monitor_acquires": s.MonitorAcquires,
+		"remote_acquires":  s.RemoteAcquires,
+		"rpcs":             s.RPCs,
+		"spawns":           s.Spawns,
+		"migrations":       s.Migrations,
+	}
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]struct {
+		Name  string
+		Value int64
+	}, 0, len(m))
+	for _, n := range names {
+		out = append(out, struct {
+			Name  string
+			Value int64
+		}{n, m[n]})
+	}
+	return out
+}
+
+// String renders the non-zero counters compactly.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	first := true
+	for _, f := range s.Fields() {
+		if f.Value == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", f.Name, f.Value)
+		first = false
+	}
+	if first {
+		return "(no events)"
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Counters
+	c.AddLocalityChecks(10)
+	c.AddPageFaults(2)
+	c.AddMprotectCalls(3)
+	c.AddPageFetches(2)
+	c.AddCacheHits(8)
+	c.AddInvalidations(5)
+	c.AddDiffMessage(100)
+	c.AddDiffMessage(50)
+	c.AddMonitorAcquire(true)
+	c.AddMonitorAcquire(false)
+	c.AddRPCs(4)
+	c.AddSpawns(6)
+	c.AddMigrations(1)
+
+	s := c.Snapshot()
+	if s.LocalityChecks != 10 || s.PageFaults != 2 || s.MprotectCalls != 3 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.DiffMessages != 2 || s.DiffBytes != 150 {
+		t.Fatalf("diffs %+v", s)
+	}
+	if s.MonitorAcquires != 2 || s.RemoteAcquires != 1 {
+		t.Fatalf("monitors %+v", s)
+	}
+	if s.RPCs != 4 || s.Spawns != 6 || s.Migrations != 1 {
+		t.Fatalf("misc %+v", s)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.AddLocalityChecks(5)
+	before := c.Snapshot()
+	c.AddLocalityChecks(7)
+	c.AddPageFaults(1)
+	delta := c.Snapshot().Sub(before)
+	if delta.LocalityChecks != 7 || delta.PageFaults != 1 {
+		t.Fatalf("delta %+v", delta)
+	}
+}
+
+func TestFieldsStableOrder(t *testing.T) {
+	var c Counters
+	f1 := c.Snapshot().Fields()
+	f2 := c.Snapshot().Fields()
+	if len(f1) != 13 {
+		t.Fatalf("fields = %d, want 13", len(f1))
+	}
+	for i := range f1 {
+		if f1[i].Name != f2[i].Name {
+			t.Fatal("field order unstable")
+		}
+	}
+	for i := 1; i < len(f1); i++ {
+		if f1[i-1].Name >= f1[i].Name {
+			t.Fatal("fields not sorted")
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	var c Counters
+	if got := c.Snapshot().String(); got != "(no events)" {
+		t.Errorf("empty string = %q", got)
+	}
+	c.AddPageFaults(3)
+	c.AddLocalityChecks(2)
+	s := c.Snapshot().String()
+	if !strings.Contains(s, "page_faults=3") || !strings.Contains(s, "locality_checks=2") {
+		t.Errorf("String() = %q", s)
+	}
+	if strings.Contains(s, "mprotect") {
+		t.Errorf("zero counters should be hidden: %q", s)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddLocalityChecks(1)
+				c.AddDiffMessage(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.LocalityChecks != 10000 || s.DiffMessages != 10000 || s.DiffBytes != 20000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}

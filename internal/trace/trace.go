@@ -1,0 +1,158 @@
+// Package trace records protocol events with their virtual timestamps,
+// producing the kind of timeline the Hyperion authors used to reason
+// about where java_ic's checks and java_pf's faults actually land during
+// a run. Tracing is off unless a Buffer is attached to the engine; the
+// hot path then pays one atomic load per event site.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// EvFetch is a page fetch from its home (loadIntoCache).
+	EvFetch Kind = iota
+	// EvFault is a simulated page fault (java_pf detection).
+	EvFault
+	// EvInvalidate is a cache invalidation (monitor entry), with the
+	// number of dropped pages in Arg.
+	EvInvalidate
+	// EvFlush is an updateMainMemory diff message, with its byte size in
+	// Arg.
+	EvFlush
+	// EvMonitorEnter is a monitor acquisition.
+	EvMonitorEnter
+	// EvMigrate is a thread migration, with the destination node in Arg.
+	EvMigrate
+)
+
+var kindNames = [...]string{"fetch", "fault", "invalidate", "flush", "monitor-enter", "migrate"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind#%d", uint8(k))
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	At   vtime.Time
+	Node int
+	Kind Kind
+	// Arg is event-specific: page id for fetch/fault, dropped count for
+	// invalidate, byte size for flush, destination for migrate.
+	Arg int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v node%-2d %-13s %d", vtime.Duration(e.At), e.Node, e.Kind, e.Arg)
+}
+
+// Buffer is a bounded, concurrency-safe event recorder. When full it
+// drops new events and counts them.
+type Buffer struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped int64
+}
+
+// NewBuffer creates a recorder holding at most capacity events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Buffer{events: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Record appends an event if space remains.
+func (b *Buffer) Record(at vtime.Time, node int, kind Kind, arg int64) {
+	b.mu.Lock()
+	if len(b.events) < b.cap {
+		b.events = append(b.events, Event{At: at, Node: node, Kind: kind, Arg: arg})
+	} else {
+		b.dropped++
+	}
+	b.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by virtual time.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	out := append([]Event(nil), b.events...)
+	b.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Dropped reports how many events did not fit.
+func (b *Buffer) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Len reports the number of recorded events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Summary aggregates the buffer into per-kind counts and a per-node
+// breakdown.
+func (b *Buffer) Summary() string {
+	events := b.Events()
+	kindCount := map[Kind]int{}
+	nodeCount := map[int]int{}
+	for _, e := range events {
+		kindCount[e.Kind]++
+		nodeCount[e.Node]++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d events", len(events))
+	if d := b.Dropped(); d > 0 {
+		fmt.Fprintf(&sb, " (+%d dropped)", d)
+	}
+	sb.WriteString("\n")
+	kinds := make([]int, 0, len(kindCount))
+	for k := range kindCount {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "  %-13s %d\n", Kind(k), kindCount[Kind(k)])
+	}
+	nodes := make([]int, 0, len(nodeCount))
+	for n := range nodeCount {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(&sb, "  node%-2d        %d\n", n, nodeCount[n])
+	}
+	return sb.String()
+}
+
+// Dump renders up to n events in timeline order (n <= 0 means all).
+func (b *Buffer) Dump(n int) string {
+	events := b.Events()
+	if n > 0 && n < len(events) {
+		events = events[:n]
+	}
+	var sb strings.Builder
+	for _, e := range events {
+		sb.WriteString(e.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

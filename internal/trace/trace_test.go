@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestRecordAndOrder(t *testing.T) {
+	b := NewBuffer(10)
+	b.Record(vtime.Time(300), 1, EvFault, 7)
+	b.Record(vtime.Time(100), 0, EvFetch, 7)
+	b.Record(vtime.Time(200), 2, EvFlush, 64)
+	evs := b.Events()
+	if len(evs) != 3 || b.Len() != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Sorted by virtual time regardless of record order.
+	if evs[0].At != 100 || evs[1].At != 200 || evs[2].At != 300 {
+		t.Fatalf("not time-ordered: %v", evs)
+	}
+	if evs[0].Kind != EvFetch || evs[0].Node != 0 || evs[0].Arg != 7 {
+		t.Fatalf("event fields: %+v", evs[0])
+	}
+}
+
+func TestCapacityAndDropped(t *testing.T) {
+	b := NewBuffer(2)
+	for i := 0; i < 5; i++ {
+		b.Record(vtime.Time(i), 0, EvFetch, int64(i))
+	}
+	if b.Len() != 2 || b.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+	if !strings.Contains(b.Summary(), "+3 dropped") {
+		t.Errorf("summary: %q", b.Summary())
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := NewBuffer(0)
+	b.Record(0, 0, EvMigrate, 1)
+	if b.Len() != 1 {
+		t.Fatal("default-capacity buffer rejected an event")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		EvFetch: "fetch", EvFault: "fault", EvInvalidate: "invalidate",
+		EvFlush: "flush", EvMonitorEnter: "monitor-enter", EvMigrate: "migrate",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "kind#99") {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestSummaryAndDump(t *testing.T) {
+	b := NewBuffer(100)
+	b.Record(vtime.Time(vtime.Micro(5)), 0, EvFault, 3)
+	b.Record(vtime.Time(vtime.Micro(1)), 1, EvFault, 4)
+	b.Record(vtime.Time(vtime.Micro(2)), 1, EvFetch, 4)
+	sum := b.Summary()
+	if !strings.Contains(sum, "fault         2") || !strings.Contains(sum, "node1         2") {
+		t.Errorf("summary:\n%s", sum)
+	}
+	dump := b.Dump(2)
+	if lines := strings.Count(dump, "\n"); lines != 2 {
+		t.Errorf("Dump(2) emitted %d lines:\n%s", lines, dump)
+	}
+	if !strings.Contains(dump, "node1") || !strings.Contains(strings.Split(dump, "\n")[0], "1us") {
+		t.Errorf("dump:\n%s", dump)
+	}
+	if full := b.Dump(0); strings.Count(full, "\n") != 3 {
+		t.Errorf("Dump(0) should emit everything:\n%s", full)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	b := NewBuffer(100000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Record(vtime.Time(i), w, EvFetch, int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Len() != 8000 {
+		t.Fatalf("recorded %d events", b.Len())
+	}
+}

@@ -1,0 +1,65 @@
+package vtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Barrier is a reusable virtual-time barrier for a fixed set of
+// participants. All participants arrive with their local virtual times;
+// every participant leaves at max(arrival times) + exitCost. It blocks the
+// calling goroutines (real time) until the full cohort has arrived, exactly
+// like a real barrier would.
+//
+// Hyperion's benchmark programs implement barriers out of Java monitors;
+// this type exists for the runtime's internal phases (startup, shutdown)
+// and for tests that need a primitive rendezvous.
+type Barrier struct {
+	mu       sync.Mutex
+	n        int
+	exitCost Duration
+	cur      *barrierGen
+	floor    Time // release time of the previous generation; keeps time monotone
+}
+
+type barrierGen struct {
+	arrived int
+	maxTime Time
+	release Time
+	done    chan struct{}
+}
+
+// NewBarrier creates a barrier for n participants. exitCost is charged to
+// every participant on release, modeling the notification fan-out.
+func NewBarrier(n int, exitCost Duration) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("vtime: barrier size %d", n))
+	}
+	return &Barrier{n: n, exitCost: exitCost, cur: &barrierGen{done: make(chan struct{})}}
+}
+
+// Await enters the barrier at virtual time at and returns the common
+// release time max(arrivals)+exitCost once all n participants have
+// arrived.
+func (b *Barrier) Await(at Time) Time {
+	b.mu.Lock()
+	g := b.cur
+	if at > g.maxTime {
+		g.maxTime = at
+	}
+	g.arrived++
+	if g.arrived == b.n {
+		g.release = Max(g.maxTime, b.floor).Add(b.exitCost)
+		b.floor = g.release
+		b.cur = &barrierGen{done: make(chan struct{})}
+		close(g.done)
+		b.mu.Unlock()
+		return g.release
+	}
+	b.mu.Unlock()
+	<-g.done
+	return g.release
+}
+
+// Size reports the number of participants.
+func (b *Barrier) Size() int { return b.n }

@@ -1,0 +1,129 @@
+// Package vtime provides the virtual-time foundation of the Hyperion-Go
+// simulator.
+//
+// Every simulated thread of control owns a Clock. Computation advances the
+// clock by a Duration derived from a cost model; interactions between
+// threads (messages, locks, barriers) merge clocks with a max rule so that
+// causality is respected: an effect is never observed before the virtual
+// time at which its cause completed.
+//
+// Times are kept in integer picoseconds. A picosecond granularity lets the
+// model charge single CPU cycles exactly for the clock rates used in the
+// paper (5000 ps at 200 MHz, 2222 ps at 450 MHz) and still spans ~106 days
+// in an int64, far beyond any simulated run.
+package vtime
+
+import "fmt"
+
+// Time is an absolute virtual time in picoseconds since the start of the
+// simulated run.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Nanoseconds returns the duration as a floating-point number of
+// nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// Microseconds returns the duration as a floating-point number of
+// microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d < Nanosecond:
+		return fmt.Sprintf("%dps", int64(d))
+	case d < Microsecond:
+		return fmt.Sprintf("%.3gns", d.Nanoseconds())
+	case d < Millisecond:
+		return fmt.Sprintf("%.4gus", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.4gms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6gs", d.Seconds())
+	}
+}
+
+// Seconds returns the absolute time as floating-point seconds.
+func (t Time) Seconds() float64 { return Duration(t).Seconds() }
+
+// String formats the absolute time like a duration since time zero.
+func (t Time) String() string { return Duration(t).String() }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Max returns the later of two times.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Micro returns a Duration of us microseconds.
+func Micro(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Nano returns a Duration of ns nanoseconds.
+func Nano(ns float64) Duration { return Duration(ns * float64(Nanosecond)) }
+
+// Clock is the virtual clock of a single simulated thread. It is not safe
+// for concurrent use: exactly one goroutine (the one driving the simulated
+// thread) may advance it. Cross-thread interactions exchange Time values
+// and use AdvanceTo for max-merging.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock positioned at the given start time.
+func NewClock(start Time) *Clock { return &Clock{now: start} }
+
+// Now reports the clock's current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are a
+// programming error and panic: virtual time never runs backwards.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: negative advance %d", d))
+	}
+	c.now += Time(d)
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current
+// time; otherwise it leaves the clock unchanged. It reports the resulting
+// time. This is the max-merge used when a thread observes an event produced
+// by another thread (message arrival, lock grant, joined thread's end).
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Set forces the clock to an absolute time. It is intended for thread
+// migration, where the thread's clock is re-seated on arrival, and for
+// tests. Moving backwards panics.
+func (c *Clock) Set(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("vtime: Set would move clock backwards (%v -> %v)", c.now, t))
+	}
+	c.now = t
+}

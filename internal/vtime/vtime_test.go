@@ -1,0 +1,297 @@
+package vtime
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Fatalf("Nanosecond = %d", Nanosecond)
+	}
+	if Microsecond != 1000*Nanosecond {
+		t.Fatalf("Microsecond = %d", Microsecond)
+	}
+	if Millisecond != 1000*Microsecond {
+		t.Fatalf("Millisecond = %d", Millisecond)
+	}
+	if Second != 1000*Millisecond {
+		t.Fatalf("Second = %d", Second)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Nanosecond
+	if got := d.Nanoseconds(); got != 1500 {
+		t.Errorf("Nanoseconds() = %v, want 1500", got)
+	}
+	if got := d.Microseconds(); got != 1.5 {
+		t.Errorf("Microseconds() = %v, want 1.5", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{5 * Nanosecond, "5ns"},
+		{22 * Microsecond, "22us"},
+		{3 * Millisecond, "3ms"},
+		{90 * Second, "90s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time
+	t1 := t0.Add(5 * Microsecond)
+	if t1.Sub(t0) != 5*Microsecond {
+		t.Fatalf("Sub = %v", t1.Sub(t0))
+	}
+	if Max(t0, t1) != t1 || Max(t1, t0) != t1 {
+		t.Fatalf("Max broken")
+	}
+}
+
+func TestMicroNanoHelpers(t *testing.T) {
+	if Micro(22) != 22*Microsecond {
+		t.Errorf("Micro(22) = %v", Micro(22))
+	}
+	if Nano(5) != 5*Nanosecond {
+		t.Errorf("Nano(5) = %v", Nano(5))
+	}
+	if Micro(0.5) != 500*Nanosecond {
+		t.Errorf("Micro(0.5) = %v", Micro(0.5))
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(10 * Nanosecond)
+	c.Advance(5 * Nanosecond)
+	if c.Now() != Time(15*Nanosecond) {
+		t.Fatalf("Now = %v", c.Now())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock(Time(100))
+	if got := c.AdvanceTo(Time(50)); got != Time(100) {
+		t.Errorf("AdvanceTo(past) = %v, want 100", got)
+	}
+	if got := c.AdvanceTo(Time(200)); got != Time(200) {
+		t.Errorf("AdvanceTo(future) = %v, want 200", got)
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	NewClock(0).Advance(-1)
+}
+
+func TestClockSetBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards Set")
+		}
+	}()
+	c := NewClock(Time(10))
+	c.Set(Time(5))
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource()
+	s1, e1 := r.Acquire(Time(0), 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first acquire [%v,%v)", s1, e1)
+	}
+	// Arrives while busy: must be queued behind the first.
+	s2, e2 := r.Acquire(Time(5), 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second acquire [%v,%v), want [10,20)", s2, e2)
+	}
+	// Arrives after idle: starts at its own time.
+	s3, e3 := r.Acquire(Time(100), 7)
+	if s3 != 100 || e3 != 107 {
+		t.Fatalf("third acquire [%v,%v), want [100,107)", s3, e3)
+	}
+	busy, n := r.Utilization()
+	if busy != 27 || n != 3 {
+		t.Fatalf("utilization = %v/%d, want 27/3", busy, n)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource()
+	r.Acquire(0, 50)
+	r.Reset()
+	if r.BusyUntil() != 0 {
+		t.Fatalf("BusyUntil after reset = %v", r.BusyUntil())
+	}
+	s, e := r.Acquire(3, 4)
+	if s != 3 || e != 7 {
+		t.Fatalf("acquire after reset [%v,%v)", s, e)
+	}
+}
+
+// Property: for any sequence of acquisitions, granted intervals never
+// overlap and never start before the request time.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(reqs []struct {
+		At  uint16
+		Dur uint8
+	}) bool {
+		r := NewResource()
+		var lastEnd Time
+		for _, q := range reqs {
+			s, e := r.Acquire(Time(q.At), Duration(q.Dur))
+			if s < Time(q.At) || s < lastEnd || e != s.Add(Duration(q.Dur)) {
+				return false
+			}
+			lastEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceConcurrentAcquire(t *testing.T) {
+	r := NewResource()
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	intervals := make([][][2]Time, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				at := Time(rng.Int63n(1000))
+				s, e := r.Acquire(at, Duration(1+rng.Int63n(20)))
+				intervals[w] = append(intervals[w], [2]Time{s, e})
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Check global non-overlap: collect and sort by start.
+	var all [][2]Time
+	for _, iv := range intervals {
+		all = append(all, iv...)
+	}
+	for i := range all {
+		for j := range all {
+			if i == j {
+				continue
+			}
+			a, b := all[i], all[j]
+			if a[0] < b[1] && b[0] < a[1] && a != b {
+				t.Fatalf("overlapping grants %v and %v", a, b)
+			}
+		}
+	}
+	busy, n := r.Utilization()
+	if n != workers*perWorker {
+		t.Fatalf("acquires = %d", n)
+	}
+	if busy <= 0 {
+		t.Fatalf("busy = %v", busy)
+	}
+}
+
+func TestBarrierReleaseAtMax(t *testing.T) {
+	b := NewBarrier(3, 2*Nanosecond)
+	times := []Time{Time(10 * Nanosecond), Time(50 * Nanosecond), Time(30 * Nanosecond)}
+	out := make(chan Time, 3)
+	var wg sync.WaitGroup
+	for _, at := range times {
+		wg.Add(1)
+		go func(at Time) {
+			defer wg.Done()
+			out <- b.Await(at)
+		}(at)
+	}
+	wg.Wait()
+	close(out)
+	want := Time(52 * Nanosecond)
+	for got := range out {
+		if got != want {
+			t.Fatalf("release = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBarrierReusableAndMonotone(t *testing.T) {
+	b := NewBarrier(2, 0)
+	run := func(a, bt Time) Time {
+		out := make(chan Time, 2)
+		go func() { out <- b.Await(a) }()
+		go func() { out <- b.Await(bt) }()
+		r1, r2 := <-out, <-out
+		if r1 != r2 {
+			t.Fatalf("participants released at different times: %v vs %v", r1, r2)
+		}
+		return r1
+	}
+	first := run(Time(100), Time(200))
+	if first != Time(200) {
+		t.Fatalf("first release = %v", first)
+	}
+	// Second generation arrives "earlier"; release must not go backwards.
+	second := run(Time(10), Time(20))
+	if second < first {
+		t.Fatalf("barrier time went backwards: %v < %v", second, first)
+	}
+}
+
+func TestBarrierSizeAndPanics(t *testing.T) {
+	if NewBarrier(4, 0).Size() != 4 {
+		t.Fatal("Size")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<=0")
+		}
+	}()
+	NewBarrier(0, 0)
+}
+
+// Property: barrier release equals max of arrivals plus exit cost when the
+// floor does not interfere (single generation, fresh barrier).
+func TestBarrierMaxProperty(t *testing.T) {
+	f := func(a, b, c uint32, cost uint16) bool {
+		bar := NewBarrier(3, Duration(cost))
+		arr := []Time{Time(a), Time(b), Time(c)}
+		out := make(chan Time, 3)
+		for _, at := range arr {
+			go func(at Time) { out <- bar.Await(at) }(at)
+		}
+		want := Max(Max(arr[0], arr[1]), arr[2]).Add(Duration(cost))
+		for i := 0; i < 3; i++ {
+			if <-out != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
