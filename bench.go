@@ -4,12 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
-	"repro/internal/apps/asp"
-	"repro/internal/apps/barnes"
-	"repro/internal/apps/jacobi"
-	"repro/internal/apps/pi"
-	"repro/internal/apps/tsp"
 	"repro/internal/harness"
+	"repro/internal/sweep"
 )
 
 // Benchmark-facing re-exports, so downstream users can drive the paper's
@@ -28,39 +24,18 @@ type (
 )
 
 // AppNames lists the five benchmarks in the paper's figure order.
-func AppNames() []string { return []string{"pi", "jacobi", "barnes", "tsp", "asp"} }
+func AppNames() []string { return sweep.AppNames() }
 
 // NewApp builds a benchmark by name. paperScale selects the exact §4.1
 // problem sizes; otherwise proportionally scaled-down defaults are used.
+// The registry lives in the sweep subsystem, which also resolves apps by
+// name when executing declarative sweeps.
 func NewApp(name string, paperScale bool) (App, error) {
-	switch name {
-	case "pi":
-		if paperScale {
-			return pi.Paper(), nil
-		}
-		return pi.Default(), nil
-	case "jacobi":
-		if paperScale {
-			return jacobi.Paper(), nil
-		}
-		return jacobi.Default(), nil
-	case "barnes":
-		if paperScale {
-			return barnes.Paper(), nil
-		}
-		return barnes.Default(), nil
-	case "tsp":
-		if paperScale {
-			return tsp.Paper(), nil
-		}
-		return tsp.Default(), nil
-	case "asp":
-		if paperScale {
-			return asp.Paper(), nil
-		}
-		return asp.Default(), nil
+	app, err := sweep.NewApp(name, paperScale)
+	if err != nil {
+		return nil, fmt.Errorf("hyperion: %w", err)
 	}
-	return nil, fmt.Errorf("hyperion: unknown app %q (have %v)", name, AppNames())
+	return app, nil
 }
 
 // RunBenchmark executes one benchmark under one configuration.

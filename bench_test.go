@@ -100,7 +100,7 @@ func BenchmarkFigSCICluster(b *testing.B) {
 func BenchmarkAblationCheckCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pts, err := harness.AblateCheckCycles(func() apps.App { return asp.New(64, 1) },
-			model.Myrinet200(), 4, []float64{2, 8, 32})
+			model.Myrinet200(), 4, []float64{2, 8, 32}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +116,7 @@ func BenchmarkAblationCheckCost(b *testing.B) {
 func BenchmarkAblationFaultCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := harness.AblateFaultCost(func() apps.App { return jacobi.New(64, 4) },
-			model.Myrinet200(), 4, []vtime.Duration{vtime.Micro(12), vtime.Micro(22), vtime.Micro(100)})
+			model.Myrinet200(), 4, []vtime.Duration{vtime.Micro(12), vtime.Micro(22), vtime.Micro(100)}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +128,7 @@ func BenchmarkAblationFaultCost(b *testing.B) {
 func BenchmarkAblationPageSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := harness.AblatePageSize(func() apps.App { return jacobi.New(64, 4) },
-			model.Myrinet200(), 4, []int{1024, 4096, 16384})
+			model.Myrinet200(), 4, []int{1024, 4096, 16384}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +140,7 @@ func BenchmarkAblationPageSize(b *testing.B) {
 func BenchmarkMultiThreadPerNode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pts, err := harness.ThreadsPerNodeSweep(func() apps.App { return jacobi.New(96, 4) },
-			model.Myrinet200(), 4, []int{1, 2, 4})
+			model.Myrinet200(), 4, []int{1, 2, 4}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,7 +1,10 @@
 // Command hyperion-bench runs benchmark sweeps beyond the paper's
 // figures: full app x cluster x protocol x nodes grids (CSV), and the
 // ablation studies motivated by §3.3's tradeoff discussion (check-cost,
-// fault-cost, page-size, threads-per-node and network sweeps).
+// fault-cost, page-size, threads-per-node and network sweeps). The grid
+// modes run concurrently on the sweep executor; the ablation modes run
+// on the harness worker pool. For cached, resumable sweeps from spec
+// files, see hyperion-sweep.
 //
 // Usage:
 //
@@ -21,7 +24,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/harness"
-	"repro/internal/model"
+	"repro/internal/sweep"
 	"repro/internal/vtime"
 
 	hyperion "repro"
@@ -33,9 +36,10 @@ func main() {
 	clusterName := flag.String("cluster", "myrinet", "platform for ablation modes: myrinet, sci, tcp")
 	nodes := flag.Int("nodes", 4, "node count for ablation modes")
 	paperScale := flag.Bool("paperscale", false, "use the paper's full problem sizes")
+	workers := flag.Int("workers", 0, "worker goroutines for the sweeps (default NumCPU)")
 	flag.Parse()
 
-	cl, err := clusterByName(*clusterName)
+	cl, err := sweep.ClusterByName(*clusterName)
 	fatalIf(err)
 	makeApp := func() apps.App {
 		app, err := hyperion.NewApp(*appName, *paperScale)
@@ -45,31 +49,31 @@ func main() {
 
 	switch *mode {
 	case "grid":
-		runGrid(*paperScale)
+		runGrid(*paperScale, *workers)
 	case "protocols":
-		runProtocols(*nodes, *paperScale)
+		runProtocols(*nodes, *paperScale, *workers)
 	case "cachecap":
-		runCacheCap(makeApp, cl, *nodes)
+		runCacheCap(*appName, *clusterName, *nodes, *paperScale, *workers)
 	case "ablate-check":
-		pts, err := harness.AblateCheckCycles(makeApp, cl, *nodes, []float64{1, 2, 4, 8, 16, 32})
+		pts, err := harness.AblateCheckCycles(makeApp, cl, *nodes, []float64{1, 2, 4, 8, 16, 32}, *workers)
 		fatalIf(err)
 		fmt.Print(harness.FormatAblation(pts))
 	case "ablate-fault":
 		pts, err := harness.AblateFaultCost(makeApp, cl, *nodes, []vtime.Duration{
 			vtime.Micro(3), vtime.Micro(6), vtime.Micro(12), vtime.Micro(22), vtime.Micro(50), vtime.Micro(100),
-		})
+		}, *workers)
 		fatalIf(err)
 		fmt.Print(harness.FormatAblation(pts))
 	case "pagesize":
-		pts, err := harness.AblatePageSize(makeApp, cl, *nodes, []int{1024, 2048, 4096, 8192, 16384})
+		pts, err := harness.AblatePageSize(makeApp, cl, *nodes, []int{1024, 2048, 4096, 8192, 16384}, *workers)
 		fatalIf(err)
 		fmt.Print(harness.FormatAblation(pts))
 	case "tpn":
-		pts, err := harness.ThreadsPerNodeSweep(makeApp, cl, *nodes, []int{1, 2, 3, 4})
+		pts, err := harness.ThreadsPerNodeSweep(makeApp, cl, *nodes, []int{1, 2, 3, 4}, *workers)
 		fatalIf(err)
 		fmt.Print(harness.FormatAblation(pts))
 	case "network":
-		pts, err := harness.NetworkSweep(makeApp, *nodes)
+		pts, err := harness.NetworkSweep(makeApp, *nodes, *workers)
 		fatalIf(err)
 		fmt.Print(harness.FormatAblation(pts))
 	default:
@@ -77,25 +81,41 @@ func main() {
 	}
 }
 
+// runSpec executes a spec on the sweep executor and fails on the first
+// broken point.
+func runSpec(spec sweep.Spec, workers int) *sweep.Outcome {
+	out, err := (&sweep.Executor{Workers: workers}).Run(spec)
+	fatalIf(err)
+	fatalIf(out.Err())
+	return out
+}
+
 // runProtocols compares all registered protocols (including the java_up
 // extension) across the five benchmarks at a fixed node count.
-func runProtocols(nodes int, paperScale bool) {
+func runProtocols(nodes int, paperScale bool, workers int) {
+	protos := hyperion.Protocols()
+	out := runSpec(sweep.Spec{
+		Apps:       hyperion.AppNames(),
+		Clusters:   []string{"myrinet"},
+		Protocols:  protos,
+		Nodes:      []int{nodes},
+		PaperScale: paperScale,
+	}, workers)
+
 	fmt.Printf("%-8s", "app")
-	for _, proto := range hyperion.Protocols() {
+	for _, proto := range protos {
 		fmt.Printf(" %14s", proto)
 	}
 	fmt.Println()
-	for _, name := range hyperion.AppNames() {
+	// Expansion order is app-major, protocol-minor: one row per app.
+	for i, name := range hyperion.AppNames() {
 		fmt.Printf("%-8s", name)
-		for _, proto := range hyperion.Protocols() {
-			app, err := hyperion.NewApp(name, paperScale)
-			fatalIf(err)
-			res, err := harness.Run(app, harness.RunConfig{Cluster: model.Myrinet200(), Nodes: nodes, Protocol: proto})
-			fatalIf(err)
-			if !res.Check.Valid {
-				fatalIf(fmt.Errorf("%s/%s invalid: %s", name, proto, res.Check.Summary))
+		for j, proto := range protos {
+			pr := out.Points[i*len(protos)+j]
+			if !pr.Result.Check.Valid {
+				fatalIf(fmt.Errorf("%s/%s invalid: %s", name, proto, pr.Result.Check.Summary))
 			}
-			fmt.Printf(" %13.6fs", res.Seconds())
+			fmt.Printf(" %13.6fs", pr.Result.Seconds())
 		}
 		fmt.Println()
 	}
@@ -103,59 +123,54 @@ func runProtocols(nodes int, paperScale bool) {
 
 // runCacheCap sweeps the per-node cache capacity (pages), showing the
 // cost of memory pressure under both protocols.
-func runCacheCap(makeApp func() apps.App, cl model.Cluster, nodes int) {
-	fmt.Printf("%-14s %12s %12s %12s\n", "capacity_pages", "java_ic (s)", "java_pf (s)", "improvement")
-	for _, capacity := range []int{0, 64, 16, 8, 4} {
-		times := map[string]float64{}
-		for _, proto := range harness.Protocols {
-			costs := model.DefaultDSMCosts()
-			costs.CacheCapacityPages = capacity
-			res, err := harness.Run(makeApp(), harness.RunConfig{Cluster: cl, Nodes: nodes, Protocol: proto, Costs: &costs})
-			fatalIf(err)
-			if !res.Check.Valid {
-				fatalIf(fmt.Errorf("cachecap %d/%s invalid: %s", capacity, proto, res.Check.Summary))
-			}
-			times[proto] = res.Seconds()
-		}
-		label := fmt.Sprintf("%d", capacity)
-		if capacity == 0 {
+func runCacheCap(appName, clusterName string, nodes int, paperScale bool, workers int) {
+	caps := []int{0, 64, 16, 8, 4}
+	overrides := make([]sweep.Override, len(caps))
+	for i, capacity := range caps {
+		c := capacity
+		label := fmt.Sprintf("%d", c)
+		if c == 0 {
 			label = "unlimited"
 		}
-		impr := (times["java_ic"] - times["java_pf"]) / times["java_ic"] * 100
-		fmt.Printf("%-14s %12.6f %12.6f %11.1f%%\n", label, times["java_ic"], times["java_pf"], impr)
+		overrides[i] = sweep.Override{Label: label, CacheCapacityPages: &c}
 	}
-}
+	out := runSpec(sweep.Spec{
+		Apps:       []string{appName},
+		Clusters:   []string{clusterName},
+		Protocols:  harness.Protocols,
+		Nodes:      []int{nodes},
+		PaperScale: paperScale,
+		Costs:      overrides,
+	}, workers)
 
-func runGrid(paperScale bool) {
-	fmt.Println("app,cluster,nodes,protocol,seconds,valid,messages,bytes,checks,faults,mprotects,fetches")
-	for _, name := range hyperion.AppNames() {
-		for _, cl := range model.Clusters() {
-			for n := 1; n <= cl.MaxNodes; n++ {
-				for _, proto := range harness.Protocols {
-					app, err := hyperion.NewApp(name, paperScale)
-					fatalIf(err)
-					res, err := harness.Run(app, harness.RunConfig{Cluster: cl, Nodes: n, Protocol: proto})
-					fatalIf(err)
-					fmt.Printf("%s,%s,%d,%s,%.9f,%v,%d,%d,%d,%d,%d,%d\n",
-						res.App, res.Cluster, res.Nodes, res.Protocol, res.Seconds(), res.Check.Valid,
-						res.Messages, res.Bytes, res.Stats.LocalityChecks, res.Stats.PageFaults,
-						res.Stats.MprotectCalls, res.Stats.PageFetches)
-				}
+	fmt.Printf("%-14s %12s %12s %12s\n", "capacity_pages", "java_ic (s)", "java_pf (s)", "improvement")
+	// Expansion order is override-major, protocol-minor.
+	for i := range overrides {
+		times := map[string]float64{}
+		for j, proto := range harness.Protocols {
+			pr := out.Points[i*len(harness.Protocols)+j]
+			if !pr.Result.Check.Valid {
+				fatalIf(fmt.Errorf("cachecap %s/%s invalid: %s", overrides[i].Label, proto, pr.Result.Check.Summary))
 			}
+			times[proto] = pr.Result.Seconds()
 		}
+		impr := (times["java_ic"] - times["java_pf"]) / times["java_ic"] * 100
+		fmt.Printf("%-14s %12.6f %12.6f %11.1f%%\n", overrides[i].Label, times["java_ic"], times["java_pf"], impr)
 	}
 }
 
-func clusterByName(name string) (model.Cluster, error) {
-	switch strings.ToLower(name) {
-	case "myrinet", "myrinet200", "bip":
-		return model.Myrinet200(), nil
-	case "sci", "sci450", "sisci":
-		return model.SCI450(), nil
-	case "tcp", "ethernet":
-		return model.CommodityTCP(), nil
+func runGrid(paperScale bool, workers int) {
+	spec := sweep.PaperGrid()
+	spec.PaperScale = paperScale
+	out := runSpec(spec, workers)
+	fmt.Println("app,cluster,nodes,protocol,seconds,valid,messages,bytes,checks,faults,mprotects,fetches")
+	for _, pr := range out.Points {
+		res := pr.Result
+		fmt.Printf("%s,%s,%d,%s,%.9f,%v,%d,%d,%d,%d,%d,%d\n",
+			res.App, res.Cluster, res.Nodes, res.Protocol, res.Seconds(), res.Check.Valid,
+			res.Messages, res.Bytes, res.Stats.LocalityChecks, res.Stats.PageFaults,
+			res.Stats.MprotectCalls, res.Stats.PageFetches)
 	}
-	return model.Cluster{}, fmt.Errorf("unknown cluster %q", name)
 }
 
 func fatalIf(err error) {

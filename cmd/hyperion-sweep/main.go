@@ -1,0 +1,229 @@
+// Command hyperion-sweep runs declarative scenario sweeps concurrently,
+// with content-addressed result caching, and aggregates the results.
+//
+// A sweep is the cross product of apps, clusters, protocols, node
+// counts, threads per node and cost overrides. It comes from a JSON
+// spec file (-spec) and/or axis flags; with neither, the full paper
+// grid runs: five benchmarks x two clusters x two protocols x every
+// node count each platform supports. Points execute across all host
+// CPUs, and with -cache every completed point is stored on disk, so
+// re-running a spec only executes new or changed points and an
+// interrupted sweep resumes where it stopped.
+//
+// Usage:
+//
+//	hyperion-sweep                              # full paper grid, CSV on stdout
+//	hyperion-sweep -cache .sweep-cache          # same, resumable
+//	hyperion-sweep -apps jacobi,asp -nodes 1,2,4,8 -aggregate
+//	hyperion-sweep -spec sweep.json -format json -out results.json
+//	hyperion-sweep -spec sweep.json -print-spec # show the expanded grid, run nothing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "JSON sweep spec file (axis flags override its fields)")
+		appsF      = flag.String("apps", "", "comma-separated benchmarks: "+strings.Join(sweep.AppNames(), ","))
+		clustersF  = flag.String("clusters", "", "comma-separated platforms: "+strings.Join(sweep.ClusterNames(), ","))
+		protosF    = flag.String("protocols", "", "comma-separated protocols (default java_ic,java_pf)")
+		nodesF     = flag.String("nodes", "", "comma-separated node counts (default 1..MaxNodes per platform)")
+		tpnF       = flag.String("tpn", "", "comma-separated threads-per-node values (default 1)")
+		repeats    = flag.Int("repeats", 0, "median-of-k repeats per point")
+		paperScale = flag.Bool("paperscale", false, "use the paper's full problem sizes")
+		cacheDir   = flag.String("cache", "", "result cache directory (empty = no caching)")
+		workers    = flag.Int("workers", 0, "worker goroutines (default NumCPU)")
+		outPath    = flag.String("out", "-", "results file (- = stdout)")
+		format     = flag.String("format", "csv", "results format: csv or json")
+		aggregate  = flag.Bool("aggregate", false, "print speedup curves, protocol crossovers and best configs")
+		printSpec  = flag.Bool("print-spec", false, "print the resolved spec as JSON and exit")
+		quiet      = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %q", flag.Args())
+	}
+
+	spec := sweep.PaperGrid()
+	if *specPath != "" {
+		var err error
+		spec, err = sweep.LoadSpec(*specPath)
+		fatalIf(err)
+	}
+	if *appsF != "" {
+		spec.Apps = splitList(*appsF)
+	}
+	if *clustersF != "" {
+		spec.Clusters = splitList(*clustersF)
+	}
+	if *protosF != "" {
+		spec.Protocols = splitList(*protosF)
+	}
+	if *nodesF != "" {
+		spec.Nodes = splitInts(*nodesF)
+	}
+	if *tpnF != "" {
+		spec.ThreadsPerNode = splitInts(*tpnF)
+	}
+	if *repeats > 0 {
+		spec.Repeats = *repeats
+	}
+	if *paperScale {
+		spec.PaperScale = true
+	}
+
+	if *printSpec {
+		blob, err := json.MarshalIndent(spec, "", "  ")
+		fatalIf(err)
+		fmt.Println(string(blob))
+		points, err := spec.Expand()
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "%d points\n", len(points))
+		return
+	}
+
+	// Fail on output problems before spending a sweep's worth of work.
+	if *format != "csv" && *format != "json" {
+		fatalf("unknown format %q (csv or json)", *format)
+	}
+	w := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		fatalIf(err)
+		defer f.Close()
+		w = f
+	}
+
+	x := &sweep.Executor{Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := sweep.OpenCache(*cacheDir)
+		fatalIf(err)
+		x.Cache = cache
+	}
+	if !*quiet {
+		x.OnPoint = func(done, total int, pr sweep.PointResult) {
+			status := "ran"
+			switch {
+			case pr.Err != nil:
+				status = "FAILED: " + pr.Err.Error()
+			case pr.Cached:
+				status = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "[%*d/%d] %-40s %s\n", len(strconv.Itoa(total)), done, total, pr.Point, status)
+		}
+	}
+
+	start := time.Now()
+	out, err := x.Run(spec)
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "%d points: %d executed, %d cached, %d failed in %.1fs\n",
+		len(out.Points), out.Executed, out.CacheHits, out.Failed, time.Since(start).Seconds())
+
+	if *format == "json" {
+		fatalIf(writeJSON(w, out))
+	} else {
+		fatalIf(sweep.WriteCSV(w, out.Points))
+	}
+
+	if *aggregate {
+		protoA, protoB := crossoverPair(spec)
+		fmt.Println("\n== speedup curves ==")
+		fmt.Print(sweep.FormatSpeedups(sweep.Speedups(out.Points)))
+		fmt.Printf("\n== protocol crossovers (%s vs %s) ==\n", protoA, protoB)
+		fmt.Print(sweep.FormatCrossovers(sweep.Crossovers(out.Points, protoA, protoB), protoA, protoB))
+		fmt.Println("\n== best config per app ==")
+		fmt.Print(sweep.FormatBest(sweep.BestConfigs(out.Points)))
+	}
+
+	if err := out.Err(); err != nil {
+		fatalIf(err)
+	}
+}
+
+// crossoverPair picks the two protocols to compare: the spec's first
+// two, or the paper's pair.
+func crossoverPair(spec sweep.Spec) (string, string) {
+	ps := spec.Protocols
+	if len(ps) == 0 {
+		ps = harness.Protocols
+	}
+	if len(ps) < 2 {
+		return harness.Protocols[0], harness.Protocols[1]
+	}
+	return ps[0], ps[1]
+}
+
+// jsonPoint is the externalized form of one point result.
+type jsonPoint struct {
+	Point  sweep.Point     `json:"point"`
+	Result *harness.Result `json:"result,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func writeJSON(w *os.File, out *sweep.Outcome) error {
+	view := struct {
+		Executed  int         `json:"executed"`
+		CacheHits int         `json:"cache_hits"`
+		Failed    int         `json:"failed"`
+		Points    []jsonPoint `json:"points"`
+	}{Executed: out.Executed, CacheHits: out.CacheHits, Failed: out.Failed}
+	for _, pr := range out.Points {
+		jp := jsonPoint{Point: pr.Point, Cached: pr.Cached}
+		if pr.Err != nil {
+			jp.Error = pr.Err.Error()
+		} else {
+			r := pr.Result
+			jp.Result = &r
+		}
+		view.Points = append(view.Points, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(view)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatalf("bad integer %q in list %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hyperion-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-sweep:", err)
+		os.Exit(1)
+	}
+}

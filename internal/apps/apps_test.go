@@ -21,6 +21,46 @@ func TestBlockRangeTiles(t *testing.T) {
 	}
 }
 
+// TestOwnerOfInvertsBlockRangeProperty checks the defining property of the
+// pair on a grid of sizes: for every item i, OwnerOf names exactly the
+// block whose BlockRange contains i, and conversely every item of every
+// block is owned by that block. The grid includes p > n (some workers own
+// empty blocks), p == n, p = 1, and sizes that do not divide evenly.
+func TestOwnerOfInvertsBlockRangeProperty(t *testing.T) {
+	ns := []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 17, 37, 64, 100, 1023}
+	ps := []int{1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 16, 31, 40, 128}
+	for _, n := range ns {
+		for _, p := range ps {
+			// Forward: every item's owner contains it.
+			for i := 0; i < n; i++ {
+				w := OwnerOf(n, p, i)
+				if w < 0 || w >= p {
+					t.Fatalf("n=%d p=%d: OwnerOf(%d) = %d out of [0,%d)", n, p, i, w, p)
+				}
+				lo, hi := BlockRange(n, p, w)
+				if i < lo || i >= hi {
+					t.Fatalf("n=%d p=%d: OwnerOf(%d) = %d but BlockRange(%d) = [%d,%d)", n, p, i, w, w, lo, hi)
+				}
+			}
+			// Backward: every block's items are owned by the block, and
+			// the blocks tile [0,n) exactly.
+			covered := 0
+			for w := 0; w < p; w++ {
+				lo, hi := BlockRange(n, p, w)
+				for i := lo; i < hi; i++ {
+					if got := OwnerOf(n, p, i); got != w {
+						t.Fatalf("n=%d p=%d: item %d in BlockRange(%d) = [%d,%d) but OwnerOf = %d", n, p, i, w, lo, hi, got)
+					}
+				}
+				covered += hi - lo
+			}
+			if covered != n {
+				t.Fatalf("n=%d p=%d: blocks cover %d items", n, p, covered)
+			}
+		}
+	}
+}
+
 func TestOwnerOfInverse(t *testing.T) {
 	for _, tc := range []struct{ n, p int }{{10, 3}, {1024, 12}, {17, 5}, {100, 1}} {
 		for i := 0; i < tc.n; i++ {

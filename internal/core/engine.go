@@ -192,11 +192,26 @@ func (e *Engine) LoadIntoCache(ctx *Ctx, p pages.PageID, access pages.Access) *p
 // modifications are flushed home first (value-logged writes make this
 // safe), then the victim frame is dropped and the protocol charges its
 // unmapping cost.
+//
+// A page may be re-fetched while a frame for it is still installed (a
+// protocol re-loading a cached copy it no longer trusts, e.g. a
+// write-upgrade). The re-fetch replaces the frame, so the page keeps its
+// original FIFO position rather than gaining a second entry: one cached
+// page must occupy exactly one capacity slot.
 func (e *Engine) recordAndMaybeEvict(ctx *Ctx, nm *nodeMem, p pages.PageID, capacity int) {
 	var victim pages.PageID
 	evict := false
 	nm.fifoMu.Lock()
-	nm.fifo = append(nm.fifo, p)
+	present := false
+	for _, q := range nm.fifo {
+		if q == p {
+			present = true
+			break
+		}
+	}
+	if !present {
+		nm.fifo = append(nm.fifo, p)
+	}
 	if len(nm.fifo) > capacity {
 		victim, nm.fifo = nm.fifo[0], nm.fifo[1:]
 		evict = true

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/pages"
 	"repro/internal/stats"
 )
 
@@ -100,6 +101,56 @@ func TestUnlimitedCacheNeverEvicts(t *testing.T) {
 	}
 	if got := e.Cluster().Counters().Snapshot().Invalidations; got != 0 {
 		t.Fatalf("unlimited cache evicted %d pages", got)
+	}
+}
+
+func TestRefetchWhileCachedKeepsOneFIFOSlot(t *testing.T) {
+	// A page re-fetched while its frame is still installed (a protocol
+	// re-loading a copy it no longer trusts, e.g. a write-upgrade
+	// re-fetch under java_pf) must not gain a second FIFO entry: one
+	// cached page occupies one capacity slot.
+	e := newCappedEngine(t, 2, "java_pf")
+	home := e.NewCtx(1, 0)
+	ps := e.Space().PageSize()
+	addr, _ := e.AllocPageAligned(home, 1, 4*ps)
+
+	remote := e.NewCtx(0, 0)
+	remote.GetI64(addr) // fetch page 0
+	p0 := e.Space().PageOf(addr)
+	// Downgrade the cached copy so the next access re-faults and
+	// re-fetches the page while its frame is still in the cache table.
+	f, _ := e.nodes[0].cache.Lookup(p0)
+	if f == nil {
+		t.Fatal("page 0 not cached after first access")
+	}
+	f.SetAccess(pages.NoAccess)
+	// A fresh context (empty per-thread fast path) on the same node
+	// takes the protocol's slow path and re-fetches page 0.
+	refetcher := e.NewCtx(0, 0)
+	refetcher.GetI64(addr)
+
+	// Two distinct pages fit the capacity-2 cache exactly: bringing in
+	// page 1 must not evict anything. With a duplicated FIFO entry,
+	// page 0 occupied both slots and was evicted here.
+	refetcher.GetI64(addr + pagesAddrMul(1, ps))
+	if got := e.Cluster().Counters().Snapshot().Invalidations; got != 0 {
+		t.Fatalf("refetched page double-counted: %d evictions with 2 pages cached at capacity 2", got)
+	}
+	if got := e.CacheLen(0); got != 2 {
+		t.Fatalf("cache holds %d pages, want 2", got)
+	}
+
+	// Accounting must stay consistent afterwards: a third page evicts
+	// exactly one victim (page 0, the oldest) and the cache stays full.
+	refetcher.GetI64(addr + pagesAddrMul(2, ps))
+	if got := e.Cluster().Counters().Snapshot().Invalidations; got != 1 {
+		t.Fatalf("evictions after third page = %d, want 1", got)
+	}
+	if got := e.CacheLen(0); got != 2 {
+		t.Fatalf("cache holds %d pages after eviction, want 2", got)
+	}
+	if f, _ := e.nodes[0].cache.Lookup(p0); f != nil {
+		t.Fatal("oldest page (0) still cached; FIFO order lost")
 	}
 }
 

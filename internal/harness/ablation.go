@@ -13,7 +13,9 @@ import (
 // take into account ... the ratio between the number of local accesses to
 // the number of remote accesses and the relative cost of page faults
 // against inline-checks." Each sweep varies one cost parameter and
-// reruns a benchmark under both protocols.
+// reruns a benchmark under both protocols. The points of a sweep are
+// independent simulations, so every sweep schedules its full
+// (value x protocol) grid through the RunJobs worker pool.
 
 // AblationPoint is one measurement of a sweep.
 type AblationPoint struct {
@@ -32,19 +34,42 @@ func (p AblationPoint) Improvement() float64 {
 	return (ic.Seconds() - pf.Seconds()) / ic.Seconds()
 }
 
-func runBoth(makeApp func() apps.App, cfg RunConfig) (map[string]Result, error) {
-	out := make(map[string]Result, len(Protocols))
-	for _, proto := range Protocols {
-		c := cfg
-		c.Protocol = proto
-		res, err := Run(makeApp(), c)
-		if err != nil {
-			return nil, err
+// sweepCase is one x-axis position of a sweep: a label, a value, and the
+// run configuration (protocol left blank — each case runs once per
+// protocol).
+type sweepCase struct {
+	param string
+	value float64
+	cfg   RunConfig
+}
+
+// runCases executes every (case, protocol) pair concurrently and
+// assembles the ablation points in case order. workers <= 0 selects
+// runtime.NumCPU().
+func runCases(makeApp func() apps.App, cases []sweepCase, workers int) ([]AblationPoint, error) {
+	jobs := make([]Job, 0, len(cases)*len(Protocols))
+	for _, c := range cases {
+		for _, proto := range Protocols {
+			cfg := c.cfg
+			cfg.Protocol = proto
+			jobs = append(jobs, Job{MakeApp: makeApp, Config: cfg})
 		}
-		if !res.Check.Valid {
-			return nil, fmt.Errorf("harness: %s under %s failed validation: %s", res.App, proto, res.Check.Summary)
+	}
+	results := RunJobs(jobs, workers, nil)
+	out := make([]AblationPoint, len(cases))
+	for i, c := range cases {
+		pt := AblationPoint{Param: c.param, Value: c.value, Results: make(map[string]Result, len(Protocols))}
+		for j, proto := range Protocols {
+			jr := results[i*len(Protocols)+j]
+			if jr.Err != nil {
+				return nil, jr.Err
+			}
+			if !jr.Result.Check.Valid {
+				return nil, fmt.Errorf("harness: %s under %s failed validation: %s", jr.Result.App, proto, jr.Result.Check.Summary)
+			}
+			pt.Results[proto] = jr.Result
 		}
-		out[proto] = res
+		out[i] = pt
 	}
 	return out, nil
 }
@@ -52,51 +77,39 @@ func runBoth(makeApp func() apps.App, cfg RunConfig) (map[string]Result, error) 
 // AblateCheckCycles sweeps the in-line check cost (in cycles): the
 // cheaper the check, the smaller java_pf's advantage — the processor
 // effect behind the paper's SCI-cluster observation.
-func AblateCheckCycles(makeApp func() apps.App, cl model.Cluster, nodes int, cycles []float64) ([]AblationPoint, error) {
-	var out []AblationPoint
+func AblateCheckCycles(makeApp func() apps.App, cl model.Cluster, nodes int, cycles []float64, workers int) ([]AblationPoint, error) {
+	cases := make([]sweepCase, 0, len(cycles))
 	for _, v := range cycles {
 		c := cl
 		c.Machine.CheckCycles = v
-		results, err := runBoth(makeApp, RunConfig{Cluster: c, Nodes: nodes})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPoint{Param: "check_cycles", Value: v, Results: results})
+		cases = append(cases, sweepCase{param: "check_cycles", value: v, cfg: RunConfig{Cluster: c, Nodes: nodes}})
 	}
-	return out, nil
+	return runCases(makeApp, cases, workers)
 }
 
 // AblateFaultCost sweeps the page-fault cost: the more expensive the
 // fault, the smaller java_pf's advantage. The paper's two platforms sit
 // at 22 us and 12 us on this axis.
-func AblateFaultCost(makeApp func() apps.App, cl model.Cluster, nodes int, faults []vtime.Duration) ([]AblationPoint, error) {
-	var out []AblationPoint
+func AblateFaultCost(makeApp func() apps.App, cl model.Cluster, nodes int, faults []vtime.Duration, workers int) ([]AblationPoint, error) {
+	cases := make([]sweepCase, 0, len(faults))
 	for _, v := range faults {
 		c := cl
 		c.Machine.PageFault = v
-		results, err := runBoth(makeApp, RunConfig{Cluster: c, Nodes: nodes})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPoint{Param: "page_fault_us", Value: v.Microseconds(), Results: results})
+		cases = append(cases, sweepCase{param: "page_fault_us", value: v.Microseconds(), cfg: RunConfig{Cluster: c, Nodes: nodes}})
 	}
-	return out, nil
+	return runCases(makeApp, cases, workers)
 }
 
 // AblatePageSize sweeps the DSM page size, trading prefetch effect (§3.1)
 // against transfer volume and false sharing.
-func AblatePageSize(makeApp func() apps.App, cl model.Cluster, nodes int, sizes []int) ([]AblationPoint, error) {
-	var out []AblationPoint
+func AblatePageSize(makeApp func() apps.App, cl model.Cluster, nodes int, sizes []int, workers int) ([]AblationPoint, error) {
+	cases := make([]sweepCase, 0, len(sizes))
 	for _, v := range sizes {
 		c := cl
 		c.PageSize = v
-		results, err := runBoth(makeApp, RunConfig{Cluster: c, Nodes: nodes})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPoint{Param: "page_size", Value: float64(v), Results: results})
+		cases = append(cases, sweepCase{param: "page_size", value: float64(v), cfg: RunConfig{Cluster: c, Nodes: nodes}})
 	}
-	return out, nil
+	return runCases(makeApp, cases, workers)
 }
 
 // ThreadsPerNodeSweep runs the experiment the paper lists as future work
@@ -106,32 +119,24 @@ func AblatePageSize(makeApp func() apps.App, cl model.Cluster, nodes int, sizes 
 // (time-sharing) and any benefit comes from overlapping communication
 // stalls; detection overheads are charged unscaled, a small approximation
 // in java_ic's favor.
-func ThreadsPerNodeSweep(makeApp func() apps.App, cl model.Cluster, nodes int, tpn []int) ([]AblationPoint, error) {
-	var out []AblationPoint
+func ThreadsPerNodeSweep(makeApp func() apps.App, cl model.Cluster, nodes int, tpn []int, workers int) ([]AblationPoint, error) {
+	cases := make([]sweepCase, 0, len(tpn))
 	for _, v := range tpn {
-		results, err := runBoth(makeApp, RunConfig{Cluster: cl, Nodes: nodes, ThreadsPerNode: v})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPoint{Param: "threads_per_node", Value: float64(v), Results: results})
+		cases = append(cases, sweepCase{param: "threads_per_node", value: float64(v), cfg: RunConfig{Cluster: cl, Nodes: nodes, ThreadsPerNode: v}})
 	}
-	return out, nil
+	return runCases(makeApp, cases, workers)
 }
 
 // NetworkSweep reruns a benchmark on every modeled interconnect.
-func NetworkSweep(makeApp func() apps.App, nodes int) ([]AblationPoint, error) {
-	var out []AblationPoint
+func NetworkSweep(makeApp func() apps.App, nodes int, workers int) ([]AblationPoint, error) {
+	var cases []sweepCase
 	for i, cl := range []model.Cluster{model.Myrinet200(), model.SCI450(), model.CommodityTCP()} {
 		if nodes > cl.MaxNodes {
 			continue
 		}
-		results, err := runBoth(makeApp, RunConfig{Cluster: cl, Nodes: nodes})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPoint{Param: "network:" + cl.Net.Name, Value: float64(i), Results: results})
+		cases = append(cases, sweepCase{param: "network:" + cl.Net.Name, value: float64(i), cfg: RunConfig{Cluster: cl, Nodes: nodes}})
 	}
-	return out, nil
+	return runCases(makeApp, cases, workers)
 }
 
 // FormatAblation renders sweep results as a table.

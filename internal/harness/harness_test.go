@@ -206,7 +206,7 @@ func TestCheckClaimsOnSyntheticData(t *testing.T) {
 func TestAblationSweeps(t *testing.T) {
 	mk := func() apps.App { return jacobi.New(32, 2) }
 
-	pts, err := AblateCheckCycles(mk, model.Myrinet200(), 2, []float64{2, 16})
+	pts, err := AblateCheckCycles(mk, model.Myrinet200(), 2, []float64{2, 16}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestAblationSweeps(t *testing.T) {
 			pts[0].Improvement(), pts[1].Improvement())
 	}
 
-	fpts, err := AblateFaultCost(mk, model.Myrinet200(), 2, []vtime.Duration{vtime.Micro(5), vtime.Micro(200)})
+	fpts, err := AblateFaultCost(mk, model.Myrinet200(), 2, []vtime.Duration{vtime.Micro(5), vtime.Micro(200)}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,17 +224,17 @@ func TestAblationSweeps(t *testing.T) {
 			fpts[0].Improvement(), fpts[1].Improvement())
 	}
 
-	ppts, err := AblatePageSize(mk, model.Myrinet200(), 2, []int{1024, 4096})
+	ppts, err := AblatePageSize(mk, model.Myrinet200(), 2, []int{1024, 4096}, 0)
 	if err != nil || len(ppts) != 2 {
 		t.Fatalf("page size sweep: %v", err)
 	}
 
-	tpts, err := ThreadsPerNodeSweep(mk, model.Myrinet200(), 2, []int{1, 2})
+	tpts, err := ThreadsPerNodeSweep(mk, model.Myrinet200(), 2, []int{1, 2}, 0)
 	if err != nil || len(tpts) != 2 {
 		t.Fatalf("tpn sweep: %v", err)
 	}
 
-	npts, err := NetworkSweep(mk, 2)
+	npts, err := NetworkSweep(mk, 2, 3)
 	if err != nil || len(npts) != 3 {
 		t.Fatalf("network sweep: %v, %d points", err, len(npts))
 	}

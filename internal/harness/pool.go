@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+)
+
+// This file is the harness's concurrent execution primitive. Every
+// simulated System is fully independent — its cluster, engine, counters
+// and virtual clocks are all per-run state — so independent runs can
+// execute on as many host CPUs as are available. The sweep subsystem
+// (internal/sweep) and the ablation sweeps below both schedule their
+// grids through RunJobs rather than hand-rolled sequential loops.
+
+// Job is one benchmark run to execute: an app factory (invoked inside the
+// worker, so instances stay per-run) and its configuration.
+type Job struct {
+	MakeApp func() apps.App
+	Config  RunConfig
+}
+
+// JobResult is the outcome of one Job.
+type JobResult struct {
+	Result Result
+	Err    error
+}
+
+// RunJobs executes jobs concurrently on a worker pool and returns their
+// outcomes in input order (results[i] corresponds to jobs[i], whatever
+// order the workers finished in). workers <= 0 selects runtime.NumCPU().
+// A panic inside one job (a bug in an app kernel or the simulator) is
+// isolated to that job and reported as its error instead of tearing down
+// the whole sweep. onDone, when non-nil, is invoked serially as each job
+// completes, with the number of completed jobs so far — the progress hook.
+func RunJobs(jobs []Job, workers int, onDone func(done int, i int, jr JobResult)) []JobResult {
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes onDone and the done counter
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(jobs[i])
+				if onDone != nil {
+					mu.Lock()
+					done++
+					onDone(done, i, results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job with panic isolation.
+func runJob(j Job) (jr JobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			jr.Err = fmt.Errorf("harness: run panicked: %v", r)
+		}
+	}()
+	jr.Result, jr.Err = Run(j.MakeApp(), j.Config)
+	return jr
+}
+
+// FirstError returns the first non-nil error in results, annotated with
+// its job index, or nil if every job succeeded.
+func FirstError(results []JobResult) error {
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("job %d: %w", i, r.Err)
+		}
+	}
+	return nil
+}

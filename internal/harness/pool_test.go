@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/asp"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/pi"
+	"repro/internal/jmm"
+	"repro/internal/model"
+	"repro/internal/threads"
+)
+
+// poolJobs builds a small grid over the barrier-synchronized benchmarks.
+// Those are bit-deterministic, so concurrent and sequential execution can
+// be compared for exact equality. (The monitor-based benchmarks pi and
+// tsp carry the documented virtual-time jitter of host lock ordering.)
+func poolJobs() []Job {
+	var jobs []Job
+	for _, n := range []int{1, 2, 3} {
+		for _, proto := range Protocols {
+			jobs = append(jobs, Job{
+				MakeApp: func() apps.App { return jacobi.New(24, 2) },
+				Config:  RunConfig{Cluster: model.SCI450(), Nodes: n, Protocol: proto},
+			})
+			jobs = append(jobs, Job{
+				MakeApp: func() apps.App { return asp.New(16, 7) },
+				Config:  RunConfig{Cluster: model.Myrinet200(), Nodes: n, Protocol: proto},
+			})
+		}
+	}
+	return jobs
+}
+
+func TestRunJobsMatchesSequential(t *testing.T) {
+	jobs := poolJobs()
+	concurrent := RunJobs(jobs, 4, nil)
+	if err := FirstError(concurrent); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		want, err := Run(j.MakeApp(), j.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(concurrent[i].Result, want) {
+			t.Errorf("job %d: concurrent result %+v != sequential %+v", i, concurrent[i].Result, want)
+		}
+	}
+}
+
+func TestRunJobsDeterministicOrderAndProgress(t *testing.T) {
+	jobs := poolJobs()
+	var doneSeq []int
+	results := RunJobs(jobs, 3, func(done, i int, jr JobResult) {
+		doneSeq = append(doneSeq, done)
+		if jr.Err != nil {
+			t.Errorf("job %d failed: %v", i, jr.Err)
+		}
+	})
+	if len(doneSeq) != len(jobs) {
+		t.Fatalf("onDone called %d times for %d jobs", len(doneSeq), len(jobs))
+	}
+	for k, d := range doneSeq {
+		if d != k+1 {
+			t.Fatalf("done counter out of order: %v", doneSeq)
+		}
+	}
+	// results[i] must describe jobs[i] regardless of completion order.
+	for i, j := range jobs {
+		r := results[i].Result
+		if r.Nodes != j.Config.Nodes || r.Protocol != j.Config.Protocol || r.Cluster != j.Config.Cluster.Name {
+			t.Fatalf("result %d is %s/%s n=%d, want %s n=%d", i, r.Cluster, r.Protocol, r.Nodes, j.Config.Protocol, j.Config.Nodes)
+		}
+	}
+}
+
+// panicApp simulates a buggy benchmark kernel.
+type panicApp struct{}
+
+func (panicApp) Name() string { return "panic" }
+func (panicApp) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
+	panic("kernel bug")
+}
+
+func TestRunJobsPanicIsolation(t *testing.T) {
+	jobs := []Job{
+		{MakeApp: func() apps.App { return pi.New(10_000) }, Config: RunConfig{Cluster: model.SCI450(), Nodes: 2, Protocol: "java_pf"}},
+		{MakeApp: func() apps.App { return panicApp{} }, Config: RunConfig{Cluster: model.SCI450(), Nodes: 2, Protocol: "java_pf"}},
+		{MakeApp: func() apps.App { return pi.New(10_000) }, Config: RunConfig{Cluster: model.SCI450(), Nodes: 3, Protocol: "java_ic"}},
+	}
+	results := RunJobs(jobs, 2, nil)
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "panicked") {
+		t.Fatalf("panicking job error = %v", results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("healthy job %d poisoned: %v", i, results[i].Err)
+		}
+		if !results[i].Result.Check.Valid {
+			t.Errorf("healthy job %d invalid: %+v", i, results[i].Result.Check)
+		}
+	}
+	if err := FirstError(results); err == nil || !strings.Contains(err.Error(), "job 1") {
+		t.Errorf("FirstError = %v, want job 1 panic", err)
+	}
+}
+
+func TestRunJobsErrorPropagation(t *testing.T) {
+	jobs := []Job{
+		{MakeApp: func() apps.App { return pi.New(1000) }, Config: RunConfig{Cluster: model.SCI450(), Nodes: 2, Protocol: "bogus"}},
+	}
+	results := RunJobs(jobs, 0, nil)
+	if results[0].Err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunJobsEmpty(t *testing.T) {
+	if got := RunJobs(nil, 4, nil); len(got) != 0 {
+		t.Fatalf("RunJobs(nil) = %v", got)
+	}
+}

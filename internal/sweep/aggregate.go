@@ -1,0 +1,343 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The aggregate layer reduces raw sweep results to the quantities the
+// paper's evaluation reasons about: scaling curves (Figures 1-5 plot
+// execution time against node count; speedup is the same data
+// normalized), the protocol tradeoff of §3.3/§4.3 (where does java_pf
+// stop or start paying off as the grid is walked), and "which
+// configuration should I run this program on" summaries.
+
+// SeriesKey identifies one curve: everything a sweep varies except the
+// node count. Overrides are identified by their effective values
+// (Config, the override fingerprint), not by their display label — two
+// unlabeled but different cost overrides are different series.
+type SeriesKey struct {
+	App            string
+	Cluster        string
+	Protocol       string
+	Label          string // override display label
+	Config         string // override fingerprint (grouping identity)
+	ThreadsPerNode int
+}
+
+func (k SeriesKey) String() string {
+	s := fmt.Sprintf("%s/%s/%s", k.App, k.Cluster, k.Protocol)
+	if k.ThreadsPerNode > 1 {
+		s += fmt.Sprintf(" tpn=%d", k.ThreadsPerNode)
+	}
+	switch {
+	case k.Label != "":
+		s += " [" + k.Label + "]"
+	case k.Config != "":
+		s += " [" + k.Config + "]"
+	}
+	return s
+}
+
+func seriesKey(p Point) SeriesKey {
+	return SeriesKey{
+		App:            p.App,
+		Cluster:        p.Cluster,
+		Protocol:       p.Protocol,
+		Label:          p.Override.Label,
+		Config:         p.Override.Fingerprint(),
+		ThreadsPerNode: p.ThreadsPerNode,
+	}
+}
+
+// SpeedupPoint is one node count of a speedup curve.
+type SpeedupPoint struct {
+	Nodes   int
+	Seconds float64
+	// Speedup is T(baseline)/T(n); Efficiency is Speedup divided by the
+	// node ratio n/baseline (1.0 = perfectly linear scaling).
+	Speedup    float64
+	Efficiency float64
+}
+
+// SpeedupCurve is one series' scaling behavior, normalized to its
+// smallest swept node count (the paper's curves all include n=1, making
+// the baseline sequential execution).
+type SpeedupCurve struct {
+	Key           SeriesKey
+	BaselineNodes int
+	Points        []SpeedupPoint
+}
+
+// usable filters the results an aggregate may draw on: successfully
+// executed and self-validated.
+func usable(results []PointResult) []PointResult {
+	out := make([]PointResult, 0, len(results))
+	for _, pr := range results {
+		if pr.Err == nil && pr.Result.Check.Valid && pr.Result.Seconds() > 0 {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// sortedKeys orders series deterministically for stable reports.
+func sortedKeys(m map[SeriesKey][]PointResult) []SeriesKey {
+	keys := make([]SeriesKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+func bySeries(results []PointResult) map[SeriesKey][]PointResult {
+	m := map[SeriesKey][]PointResult{}
+	for _, pr := range usable(results) {
+		k := seriesKey(pr.Point)
+		m[k] = append(m[k], pr)
+	}
+	for _, prs := range m {
+		sort.Slice(prs, func(i, j int) bool { return prs[i].Point.Nodes < prs[j].Point.Nodes })
+	}
+	return m
+}
+
+// Speedups computes one speedup curve per series, each normalized to the
+// series' smallest node count.
+func Speedups(results []PointResult) []SpeedupCurve {
+	series := bySeries(results)
+	curves := make([]SpeedupCurve, 0, len(series))
+	for _, k := range sortedKeys(series) {
+		prs := series[k]
+		base := prs[0]
+		curve := SpeedupCurve{Key: k, BaselineNodes: base.Point.Nodes}
+		for _, pr := range prs {
+			sp := base.Result.Seconds() / pr.Result.Seconds()
+			curve.Points = append(curve.Points, SpeedupPoint{
+				Nodes:      pr.Point.Nodes,
+				Seconds:    pr.Result.Seconds(),
+				Speedup:    sp,
+				Efficiency: sp * float64(base.Point.Nodes) / float64(pr.Point.Nodes),
+			})
+		}
+		curves = append(curves, curve)
+	}
+	return curves
+}
+
+// Crossover marks a node count at which the faster of two protocols
+// changes hands within one configuration.
+type Crossover struct {
+	App            string
+	Cluster        string
+	Label          string
+	ThreadsPerNode int
+	// At the transition from PrevNodes to Nodes, the faster protocol
+	// changed from From to To.
+	PrevNodes, Nodes int
+	From, To         string
+	// Improvement is (from-to)/from at Nodes: how much the newly
+	// winning protocol wins by.
+	Improvement float64
+}
+
+// Crossovers compares protocol pairs within each configuration and
+// reports every node count where the faster protocol flips — the
+// empirical form of §3.3's "choosing between one technique or the other
+// involves a tradeoff". Configurations where one protocol wins at every
+// swept node count produce no entry.
+func Crossovers(results []PointResult, protoA, protoB string) []Crossover {
+	type cfgKey struct {
+		app, cluster, label, config string
+		tpn                         int
+	}
+	times := map[cfgKey]map[int]map[string]float64{} // cfg → nodes → proto → seconds
+	for _, pr := range usable(results) {
+		if pr.Point.Protocol != protoA && pr.Point.Protocol != protoB {
+			continue
+		}
+		k := cfgKey{pr.Point.App, pr.Point.Cluster, pr.Point.Override.Label, pr.Point.Override.Fingerprint(), pr.Point.ThreadsPerNode}
+		if times[k] == nil {
+			times[k] = map[int]map[string]float64{}
+		}
+		if times[k][pr.Point.Nodes] == nil {
+			times[k][pr.Point.Nodes] = map[string]float64{}
+		}
+		times[k][pr.Point.Nodes][pr.Point.Protocol] = pr.Result.Seconds()
+	}
+
+	keys := make([]cfgKey, 0, len(times))
+	for k := range times {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.app != b.app {
+			return a.app < b.app
+		}
+		if a.cluster != b.cluster {
+			return a.cluster < b.cluster
+		}
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		if a.config != b.config {
+			return a.config < b.config
+		}
+		return a.tpn < b.tpn
+	})
+
+	var out []Crossover
+	for _, k := range keys {
+		nodes := make([]int, 0, len(times[k]))
+		for n, t := range times[k] {
+			if _, okA := t[protoA]; !okA {
+				continue
+			}
+			if _, okB := t[protoB]; !okB {
+				continue
+			}
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		prevWinner, prevNodes := "", 0
+		for _, n := range nodes {
+			t := times[k][n]
+			winner := protoA
+			if t[protoB] < t[protoA] {
+				winner = protoB
+			}
+			if prevWinner != "" && winner != prevWinner {
+				loser := protoA
+				if winner == protoA {
+					loser = protoB
+				}
+				out = append(out, Crossover{
+					App:            k.app,
+					Cluster:        k.cluster,
+					Label:          k.label,
+					ThreadsPerNode: k.tpn,
+					PrevNodes:      prevNodes,
+					Nodes:          n,
+					From:           prevWinner,
+					To:             winner,
+					Improvement:    (t[loser] - t[winner]) / t[loser],
+				})
+			}
+			prevWinner, prevNodes = winner, n
+		}
+	}
+	return out
+}
+
+// Best is the fastest valid configuration found for one app.
+type Best struct {
+	App     string
+	Point   Point
+	Seconds float64
+}
+
+// BestConfigs reports, per app, the configuration with the lowest
+// execution time among all valid points of the sweep.
+func BestConfigs(results []PointResult) []Best {
+	best := map[string]Best{}
+	for _, pr := range usable(results) {
+		b, ok := best[pr.Point.App]
+		if !ok || pr.Result.Seconds() < b.Seconds {
+			best[pr.Point.App] = Best{App: pr.Point.App, Point: pr.Point, Seconds: pr.Result.Seconds()}
+		}
+	}
+	apps := make([]string, 0, len(best))
+	for a := range best {
+		apps = append(apps, a)
+	}
+	sort.Strings(apps)
+	out := make([]Best, 0, len(best))
+	for _, a := range apps {
+		out = append(out, best[a])
+	}
+	return out
+}
+
+// --- rendering -----------------------------------------------------------
+
+// CSVHeader is the column set of WriteCSV, a superset of the
+// hyperion-bench grid columns.
+const CSVHeader = "app,cluster,nodes,tpn,protocol,label,seconds,valid,cached,messages,bytes,checks,faults,mprotects,fetches"
+
+// WriteCSV renders results (in their given order) as CSV. Failed points
+// are skipped; use Outcome.Err to surface them.
+func WriteCSV(w io.Writer, results []PointResult) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	for _, pr := range results {
+		if pr.Err != nil {
+			continue
+		}
+		r := pr.Result
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%s,%.9f,%v,%v,%d,%d,%d,%d,%d,%d\n",
+			pr.Point.App, pr.Point.Cluster, pr.Point.Nodes, pr.Point.ThreadsPerNode,
+			pr.Point.Protocol, pr.Point.Override.Label, r.Seconds(), r.Check.Valid, pr.Cached,
+			r.Messages, r.Bytes, r.Stats.LocalityChecks, r.Stats.PageFaults,
+			r.Stats.MprotectCalls, r.Stats.PageFetches)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatSpeedups renders speedup curves as a table.
+func FormatSpeedups(curves []SpeedupCurve) string {
+	var b strings.Builder
+	for _, c := range curves {
+		fmt.Fprintf(&b, "%s (baseline n=%d)\n", c.Key, c.BaselineNodes)
+		fmt.Fprintf(&b, "  %5s %12s %9s %11s\n", "nodes", "seconds", "speedup", "efficiency")
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "  %5d %12.6f %8.2fx %10.1f%%\n", p.Nodes, p.Seconds, p.Speedup, p.Efficiency*100)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no curves)\n"
+	}
+	return b.String()
+}
+
+// FormatCrossovers renders protocol crossover points as a table.
+func FormatCrossovers(xs []Crossover, protoA, protoB string) string {
+	if len(xs) == 0 {
+		return fmt.Sprintf("(no crossover: the faster of %s/%s never changes within a configuration)\n", protoA, protoB)
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		cfg := fmt.Sprintf("%s/%s", x.App, x.Cluster)
+		if x.ThreadsPerNode > 1 {
+			cfg += fmt.Sprintf(" tpn=%d", x.ThreadsPerNode)
+		}
+		if x.Label != "" {
+			cfg += " [" + x.Label + "]"
+		}
+		fmt.Fprintf(&b, "%-40s n=%d→%d: %s → %s (wins by %.1f%%)\n",
+			cfg, x.PrevNodes, x.Nodes, x.From, x.To, x.Improvement*100)
+	}
+	return b.String()
+}
+
+// FormatBest renders best-config-per-app summaries as a table.
+func FormatBest(bests []Best) string {
+	if len(bests) == 0 {
+		return "(no valid results)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %6s %4s %-12s %12s\n", "app", "cluster", "protocol", "nodes", "tpn", "label", "seconds")
+	for _, x := range bests {
+		fmt.Fprintf(&b, "%-8s %-10s %-8s %6d %4d %-12s %12.6f\n",
+			x.App, x.Point.Cluster, x.Point.Protocol, x.Point.Nodes, x.Point.ThreadsPerNode,
+			x.Point.Override.Label, x.Seconds)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+)
+
+// Cache is a content-addressed on-disk result store. Each entry is one
+// grid point's result, filed under the SHA-256 of the canonicalized
+// point (Point.Key), so a result is found again exactly when the whole
+// experiment configuration — app, platform, protocol, node count,
+// problem scale, cost overrides — is identical. Re-running a sweep
+// therefore only executes new or changed points, and a sweep
+// interrupted halfway resumes from what it already computed.
+//
+// Entries are written atomically (temp file + rename), so a killed
+// sweep never leaves a torn entry behind. A Cache may be shared by
+// concurrent executors; the worst case of a racing write is one point
+// computed twice, never a corrupt entry.
+type Cache struct {
+	dir string
+}
+
+// cacheEntry is the serialized form of one cached point.
+type cacheEntry struct {
+	Version string         `json:"version"`
+	Point   Point          `json:"point"`
+	Result  harness.Result `json:"result"`
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir reports the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path shards entries by the key's first byte to keep directories small
+// on big sweeps.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the cached result for a point, if present. A stale or
+// malformed entry (older format version, truncated file from a pre-Go
+// crash, hash collision) is treated as a miss.
+func (c *Cache) Get(p Point) (harness.Result, bool) {
+	data, err := os.ReadFile(c.path(p.Key()))
+	if err != nil {
+		return harness.Result{}, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != cacheKeyVersion {
+		return harness.Result{}, false
+	}
+	// Paranoia over hash collisions and format drift: the stored point
+	// must canonicalize back to this point's key. (Point holds pointer
+	// fields, so compare canonical keys, not struct values.)
+	if e.Point.Key() != p.Key() {
+		return harness.Result{}, false
+	}
+	return e.Result, true
+}
+
+// Put stores a point's result. The write is atomic: concurrent readers
+// see either the complete entry or none.
+func (c *Cache) Put(p Point, r harness.Result) error {
+	path := c.path(p.Key())
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	data, err := json.MarshalIndent(cacheEntry{Version: cacheKeyVersion, Point: p, Result: r}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache put: write %v, close %v", werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of entries currently in the cache.
+func (c *Cache) Len() int {
+	n := 0
+	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

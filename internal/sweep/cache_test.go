@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+func fakeResult(p Point, seconds float64) harness.Result {
+	return harness.Result{
+		App:      p.App,
+		Cluster:  p.Cluster,
+		Nodes:    p.Nodes,
+		Workers:  p.Nodes * p.ThreadsPerNode,
+		Protocol: p.Protocol,
+		Time:     vtime.Time(seconds * float64(vtime.Second)),
+		Check:    apps.Check{Summary: "ok", Valid: true},
+		Stats:    stats.Snapshot{PageFetches: 7, DiffBytes: 1234},
+		Messages: 42,
+		Bytes:    9000,
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1,
+		Override: Override{Label: "cap=16", CacheCapacityPages: intp(16)}}
+	if _, ok := c.Get(p); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := fakeResult(p, 1.5)
+	if err := c.Put(p, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(p)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cache changed the result:\ngot  %#v\nwant %#v", got, want)
+	}
+	// The label is not part of the identity: a differently-labeled but
+	// otherwise identical point hits the same entry.
+	relabeled := p
+	relabeled.Override.Label = "capacity-sixteen"
+	if _, ok := c.Get(relabeled); !ok {
+		t.Error("relabeled point missed")
+	}
+	// A genuinely different point misses.
+	other := p
+	other.Nodes = 5
+	if _, ok := c.Get(other); ok {
+		t.Error("different point hit")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheRejectsCorruptAndStaleEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{App: "pi", Cluster: "sci", Protocol: "java_ic", Nodes: 2, ThreadsPerNode: 1, Repeats: 1}
+	if err := c.Put(p, fakeResult(p, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(p.Key())
+
+	// Truncated file -> miss, not a crash.
+	if err := os.WriteFile(path, []byte(`{"version":"hyperion-sw`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(p); ok {
+		t.Error("truncated entry served")
+	}
+
+	// Old format version -> miss.
+	if err := c.Put(p, fakeResult(p, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	stale := strings.Replace(string(data), cacheKeyVersion, "hyperion-sweep-v0", 1)
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(p); ok {
+		t.Error("stale-version entry served")
+	}
+}
+
+func TestOpenCacheErrors(t *testing.T) {
+	if _, err := OpenCache(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// A file where the directory should be.
+	path := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(path); err == nil {
+		t.Error("file-as-dir accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+)
+
+// Executor schedules expanded grid points onto the harness worker pool.
+// Points run concurrently across the host's CPUs, each simulation in
+// full isolation (its own cluster, engine and virtual clocks); a panic
+// in one point is confined to that point. Results come back in point
+// order regardless of completion order. With a Cache attached, already
+// computed points are served from disk and only new or changed points
+// execute — which is also what makes an interrupted sweep resumable.
+type Executor struct {
+	// Workers bounds the worker pool; <= 0 selects runtime.NumCPU().
+	Workers int
+	// Cache, when non-nil, serves and stores point results.
+	Cache *Cache
+	// NewApp overrides benchmark construction, for tests and embedders
+	// sweeping custom workloads. Note the cache keys points by app
+	// *name*: an override must keep the name → workload mapping stable
+	// or use a fresh cache directory.
+	NewApp func(name string, paperScale bool) (apps.App, error)
+	// OnPoint, when non-nil, is invoked serially as each point
+	// completes (from cache or from execution).
+	OnPoint func(done, total int, pr PointResult)
+}
+
+// PointResult pairs a grid point with its outcome.
+type PointResult struct {
+	Point  Point
+	Result harness.Result
+	// Cached reports that the result was served from the cache.
+	Cached bool
+	// Err is non-nil if the point could not be executed (bad
+	// configuration, failed validation on a repeated run, or an
+	// isolated panic).
+	Err error
+}
+
+// Outcome is the result of one sweep: per-point results in expansion
+// order plus the execution/cache accounting the resumability guarantee
+// is measured by.
+type Outcome struct {
+	Points []PointResult
+	// Executed counts points that actually ran simulations.
+	Executed int
+	// CacheHits counts points served from the cache.
+	CacheHits int
+	// Failed counts points with a non-nil Err.
+	Failed int
+}
+
+// Err summarizes point failures, or returns nil if every point
+// succeeded.
+func (o *Outcome) Err() error {
+	if o.Failed == 0 {
+		return nil
+	}
+	for _, pr := range o.Points {
+		if pr.Err != nil {
+			return fmt.Errorf("sweep: %d of %d points failed; first: %s: %w",
+				o.Failed, len(o.Points), pr.Point, pr.Err)
+		}
+	}
+	return nil
+}
+
+// Run expands the spec and executes it. A custom NewApp factory also
+// resolves the spec's app names, so embedders can sweep workloads the
+// built-in registry does not know.
+func (x *Executor) Run(spec Spec) (*Outcome, error) {
+	points, err := spec.expand(func(name string) error {
+		newApp := x.NewApp
+		if newApp == nil {
+			newApp = NewApp
+		}
+		_, err := newApp(name, spec.PaperScale)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return x.RunPoints(points)
+}
+
+// RunPoints executes an explicit point list, returning results in input
+// order.
+func (x *Executor) RunPoints(points []Point) (*Outcome, error) {
+	out := &Outcome{Points: make([]PointResult, len(points))}
+	newApp := x.NewApp
+	if newApp == nil {
+		newApp = NewApp
+	}
+
+	// Resolve every point up front: cache hits are answered without
+	// occupying a worker, configuration errors fail fast, and only the
+	// remainder is scheduled.
+	type job struct {
+		point int // index into points
+		rep   int
+	}
+	var jobs []harness.Job
+	var refs []job
+	reps := make([][]harness.JobResult, len(points)) // per-point repeat results
+	for i, p := range points {
+		pr := PointResult{Point: p}
+		if x.Cache != nil {
+			if res, ok := x.Cache.Get(p); ok {
+				pr.Result, pr.Cached = res, true
+				out.Points[i] = pr
+				out.CacheHits++
+				continue
+			}
+		}
+		cfg, err := p.Config()
+		if err != nil {
+			pr.Err = err
+			out.Points[i] = pr
+			continue
+		}
+		name, scale := p.App, p.PaperScale
+		if _, err := newApp(name, scale); err != nil {
+			pr.Err = err
+			out.Points[i] = pr
+			continue
+		}
+		mk := func() apps.App {
+			app, err := newApp(name, scale)
+			if err != nil {
+				panic(err) // pre-validated above; isolated by the pool
+			}
+			return app
+		}
+		n := p.Repeats
+		if n < 1 {
+			n = 1
+		}
+		reps[i] = make([]harness.JobResult, 0, n)
+		out.Points[i] = pr
+		for r := 0; r < n; r++ {
+			jobs = append(jobs, harness.Job{MakeApp: mk, Config: cfg})
+			refs = append(refs, job{point: i, rep: r})
+		}
+	}
+
+	// Every point that will not execute (cache hit or early error) is
+	// already final; report them before the pool starts.
+	done := 0
+	report := func(i int) {
+		done++
+		if x.OnPoint != nil {
+			x.OnPoint(done, len(points), out.Points[i])
+		}
+	}
+	for i := range points {
+		if out.Points[i].Cached || out.Points[i].Err != nil {
+			report(i)
+		}
+	}
+
+	// Run the remainder. finalize fires inside the pool's serialized
+	// onDone hook as the last repeat of a point lands, so results (and
+	// cache entries) stream out as the sweep progresses rather than
+	// appearing all at once at the end — an interrupted sweep keeps
+	// everything that finished.
+	finalize := func(i int) {
+		pr := &out.Points[i]
+		pr.Result, pr.Err = mergeRepeats(reps[i])
+		if pr.Err == nil {
+			out.Executed++
+			if x.Cache != nil {
+				if err := x.Cache.Put(points[i], pr.Result); err != nil {
+					pr.Err = err
+				}
+			}
+		}
+		report(i)
+	}
+	harness.RunJobs(jobs, x.Workers, func(_ int, j int, jr harness.JobResult) {
+		i := refs[j].point
+		reps[i] = append(reps[i], jr)
+		if len(reps[i]) == cap(reps[i]) {
+			finalize(i)
+		}
+	})
+
+	for _, pr := range out.Points {
+		if pr.Err != nil {
+			out.Failed++
+		}
+	}
+	return out, nil
+}
+
+// mergeRepeats reduces a point's repeat runs to its result: the sole run
+// for a single measurement, or the median-by-time run of a repeated one.
+// Repeated measurements mirror harness.BuildFigureN and reject invalid
+// runs; a single measurement keeps an invalid result (with its Check
+// recorded) exactly like a direct harness.Run.
+func mergeRepeats(reps []harness.JobResult) (harness.Result, error) {
+	results := make([]harness.Result, 0, len(reps))
+	for _, jr := range reps {
+		if jr.Err != nil {
+			return harness.Result{}, jr.Err
+		}
+		if len(reps) > 1 && !jr.Result.Check.Valid {
+			return harness.Result{}, fmt.Errorf("failed validation: %s", jr.Result.Check.Summary)
+		}
+		results = append(results, jr.Result)
+	}
+	if len(results) == 1 {
+		return results[0], nil
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Time < results[j].Time })
+	return results[len(results)/2], nil
+}

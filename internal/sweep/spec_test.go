@@ -1,0 +1,234 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestPaperGridExpansion(t *testing.T) {
+	points, err := PaperGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 apps x (12 Myrinet + 6 SCI node counts) x 2 protocols.
+	if len(points) != 5*(12+6)*2 {
+		t.Fatalf("paper grid expands to %d points, want 180", len(points))
+	}
+	// Expansion order is app, cluster, override, tpn, nodes, protocol.
+	want := []string{
+		"pi/myrinet/java_ic n=1",
+		"pi/myrinet/java_pf n=1",
+		"pi/myrinet/java_ic n=2",
+	}
+	for i, w := range want {
+		if got := points[i].String(); got != w {
+			t.Errorf("points[%d] = %q, want %q", i, got, w)
+		}
+	}
+	last := points[len(points)-1]
+	if last.App != "asp" || last.Cluster != "sci" || last.Nodes != 6 || last.Protocol != "java_pf" {
+		t.Errorf("last point = %v", last)
+	}
+}
+
+func TestExpandDefaults(t *testing.T) {
+	points, err := Spec{Apps: []string{"jacobi"}, Nodes: []int{1}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: 2 clusters, 2 protocols, tpn 1, repeats 1.
+	if len(points) != 4 {
+		t.Fatalf("%d points, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.ThreadsPerNode != 1 || p.Repeats != 1 {
+			t.Errorf("defaults not applied: %+v", p)
+		}
+	}
+}
+
+func TestExpandSkipsOversizedNodeCounts(t *testing.T) {
+	points, err := Spec{Apps: []string{"pi"}, Clusters: []string{"myrinet", "sci"}, Protocols: []string{"java_pf"}, Nodes: []int{4, 8}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SCI maxes out at 6 nodes, so n=8 exists only on Myrinet.
+	var got []string
+	for _, p := range points {
+		got = append(got, p.String())
+	}
+	want := "pi/myrinet/java_pf n=4, pi/myrinet/java_pf n=8, pi/sci/java_pf n=4"
+	if strings.Join(got, ", ") != want {
+		t.Fatalf("expanded %v, want %s", got, want)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	bad := []Spec{
+		{Apps: []string{"nope"}},
+		{Clusters: []string{"infiniband"}},
+		{Protocols: []string{"java_xx"}},
+		{Nodes: []int{0}},
+		{ThreadsPerNode: []int{-1}},
+		{Costs: []Override{{PageSize: intp(1000)}}},     // not a power of two
+		{Clusters: []string{"sci"}, Nodes: []int{7, 8}}, // all above MaxNodes
+	}
+	for i, s := range bad {
+		if _, err := s.Expand(); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{
+		Name:      "ablate-cache-capacity",
+		Apps:      []string{"jacobi", "asp"},
+		Clusters:  []string{"myrinet"},
+		Protocols: []string{"java_ic", "java_pf"},
+		Nodes:     []int{1, 2, 4, 8},
+		Repeats:   3,
+		Costs: []Override{
+			{Label: "unlimited"},
+			{Label: "cap=16", CacheCapacityPages: intp(16)},
+		},
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("round-trip changed expansion: %d vs %d points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("point %d key changed across JSON round-trip", i)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"apps":["pi"],"protocls":["java_pf"]}`)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestLoadSpecMissingFile(t *testing.T) {
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPointKey(t *testing.T) {
+	base := Point{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1}
+	if base.Key() != base.Key() {
+		t.Fatal("key not stable")
+	}
+	// The label is presentation-only: same experiment, same key.
+	labeled := base
+	labeled.Override.Label = "anything"
+	if labeled.Key() != base.Key() {
+		t.Error("label changed the cache key")
+	}
+	// Every configuration axis must change the key.
+	variants := []Point{
+		{App: "asp", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1},
+		{App: "jacobi", Cluster: "sci", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_ic", Nodes: 4, ThreadsPerNode: 1, Repeats: 1},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 5, ThreadsPerNode: 1, Repeats: 1},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 2, Repeats: 1},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 3},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1, PaperScale: true},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1, Override: Override{CacheCapacityPages: intp(8)}},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1, Override: Override{CheckCycles: f64p(16)}},
+	}
+	seen := map[string]string{base.Key(): base.String()}
+	for _, v := range variants {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %s and %s", prev, v)
+		}
+		seen[k] = v.String()
+	}
+	// A point reconstructed from its JSON form (as the cache stores it)
+	// keys identically.
+	blob, _ := json.Marshal(variants[7])
+	var back Point
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != variants[7].Key() {
+		t.Error("JSON round-trip changed the key")
+	}
+}
+
+func TestOverrideApply(t *testing.T) {
+	cl, _ := ClusterByName("myrinet")
+	ov := Override{
+		CheckCycles:        f64p(32),
+		PageFaultUS:        f64p(50),
+		PageSize:           intp(8192),
+		CacheCapacityPages: intp(16),
+		ServiceCycles:      f64p(800),
+	}
+	gotCl, gotCosts := ov.Apply(cl, model.DefaultDSMCosts())
+	if gotCl.Machine.CheckCycles != 32 || gotCl.PageSize != 8192 {
+		t.Errorf("cluster override not applied: %+v", gotCl)
+	}
+	if gotCl.Machine.PageFault.Microseconds() != 50 {
+		t.Errorf("fault cost = %v", gotCl.Machine.PageFault)
+	}
+	if gotCosts.CacheCapacityPages != 16 || gotCosts.ServiceCycles != 800 {
+		t.Errorf("costs override not applied: %+v", gotCosts)
+	}
+	if ov.IsZero() {
+		t.Error("IsZero on a non-zero override")
+	}
+	if !(Override{Label: "only-label"}).IsZero() {
+		t.Error("label alone should be zero")
+	}
+	// The original preset must be untouched (value semantics).
+	if fresh, _ := ClusterByName("myrinet"); fresh.Machine.CheckCycles != 8 {
+		t.Error("override mutated the preset")
+	}
+}
+
+func TestClusterAliases(t *testing.T) {
+	for alias, want := range map[string]string{
+		"Myrinet": "myrinet", "bip": "myrinet", "200MHz/Myrinet": "myrinet",
+		"SCI": "sci", "sisci": "sci", "450MHz/SCI": "sci",
+		"tcp": "tcp", "ethernet": "tcp",
+	} {
+		got, err := CanonicalCluster(alias)
+		if err != nil || got != want {
+			t.Errorf("CanonicalCluster(%q) = %q, %v; want %q", alias, got, err, want)
+		}
+	}
+	if _, err := CanonicalCluster("quantum"); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+}
+
+func intp(v int) *int         { return &v }
+func f64p(v float64) *float64 { return &v }
