@@ -4,7 +4,8 @@
 // fault-cost, page-size, threads-per-node and network sweeps). The grid
 // modes run concurrently on the sweep executor; the ablation modes run
 // on the harness worker pool. For cached, resumable sweeps from spec
-// files, see hyperion-sweep.
+// files, see hyperion-sweep; to serve sweeps over HTTP, see
+// hyperion-server.
 //
 // Usage:
 //
@@ -19,111 +20,161 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/harness"
 	"repro/internal/sweep"
+	"repro/internal/version"
 	"repro/internal/vtime"
 
 	hyperion "repro"
 )
 
 func main() {
-	mode := flag.String("mode", "grid", "grid, protocols, ablate-check, ablate-fault, pagesize, tpn, network, cachecap")
-	appName := flag.String("app", "jacobi", "benchmark for ablation modes: "+strings.Join(hyperion.AppNames(), ", "))
-	clusterName := flag.String("cluster", "myrinet", "platform for ablation modes: myrinet, sci, tcp")
-	nodes := flag.Int("nodes", 4, "node count for ablation modes")
-	paperScale := flag.Bool("paperscale", false, "use the paper's full problem sizes")
-	workers := flag.Int("workers", 0, "worker goroutines for the sweeps (default NumCPU)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hyperion-bench", flag.ContinueOnError)
+	mode := fs.String("mode", "grid", "grid, protocols, ablate-check, ablate-fault, pagesize, tpn, network, cachecap")
+	appName := fs.String("app", "jacobi", "benchmark for ablation modes: "+strings.Join(hyperion.AppNames(), ", "))
+	clusterName := fs.String("cluster", "myrinet", "platform for ablation modes: myrinet, sci, tcp")
+	nodes := fs.Int("nodes", 4, "node count for ablation modes")
+	paperScale := fs.Bool("paperscale", false, "use the paper's full problem sizes")
+	workers := fs.Int("workers", 0, "worker goroutines for the sweeps (default NumCPU)")
+	showVersion := fs.Bool("version", false, "print build version and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // usage printed; -h is success
+		}
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String())
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
 
 	cl, err := sweep.ClusterByName(*clusterName)
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
+	if _, err := hyperion.NewApp(*appName, *paperScale); err != nil {
+		return err
+	}
 	makeApp := func() apps.App {
 		app, err := hyperion.NewApp(*appName, *paperScale)
-		fatalIf(err)
+		if err != nil {
+			panic(err) // pre-validated above; isolated by the pool
+		}
 		return app
 	}
 
 	switch *mode {
 	case "grid":
-		runGrid(*paperScale, *workers)
+		return runGrid(stdout, *paperScale, *workers)
 	case "protocols":
-		runProtocols(*nodes, *paperScale, *workers)
+		return runProtocols(stdout, *nodes, *paperScale, *workers)
 	case "cachecap":
-		runCacheCap(*appName, *clusterName, *nodes, *paperScale, *workers)
+		return runCacheCap(stdout, *appName, *clusterName, *nodes, *paperScale, *workers)
 	case "ablate-check":
 		pts, err := harness.AblateCheckCycles(makeApp, cl, *nodes, []float64{1, 2, 4, 8, 16, 32}, *workers)
-		fatalIf(err)
-		fmt.Print(harness.FormatAblation(pts))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, harness.FormatAblation(pts))
 	case "ablate-fault":
 		pts, err := harness.AblateFaultCost(makeApp, cl, *nodes, []vtime.Duration{
 			vtime.Micro(3), vtime.Micro(6), vtime.Micro(12), vtime.Micro(22), vtime.Micro(50), vtime.Micro(100),
 		}, *workers)
-		fatalIf(err)
-		fmt.Print(harness.FormatAblation(pts))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, harness.FormatAblation(pts))
 	case "pagesize":
 		pts, err := harness.AblatePageSize(makeApp, cl, *nodes, []int{1024, 2048, 4096, 8192, 16384}, *workers)
-		fatalIf(err)
-		fmt.Print(harness.FormatAblation(pts))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, harness.FormatAblation(pts))
 	case "tpn":
 		pts, err := harness.ThreadsPerNodeSweep(makeApp, cl, *nodes, []int{1, 2, 3, 4}, *workers)
-		fatalIf(err)
-		fmt.Print(harness.FormatAblation(pts))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, harness.FormatAblation(pts))
 	case "network":
 		pts, err := harness.NetworkSweep(makeApp, *nodes, *workers)
-		fatalIf(err)
-		fmt.Print(harness.FormatAblation(pts))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, harness.FormatAblation(pts))
 	default:
-		fatalIf(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	return nil
 }
 
 // runSpec executes a spec on the sweep executor and fails on the first
 // broken point.
-func runSpec(spec sweep.Spec, workers int) *sweep.Outcome {
+func runSpec(spec sweep.Spec, workers int) (*sweep.Outcome, error) {
 	out, err := (&sweep.Executor{Workers: workers}).Run(spec)
-	fatalIf(err)
-	fatalIf(out.Err())
-	return out
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // runProtocols compares all registered protocols (including the java_up
 // extension) across the five benchmarks at a fixed node count.
-func runProtocols(nodes int, paperScale bool, workers int) {
+func runProtocols(w io.Writer, nodes int, paperScale bool, workers int) error {
 	protos := hyperion.Protocols()
-	out := runSpec(sweep.Spec{
+	out, err := runSpec(sweep.Spec{
 		Apps:       hyperion.AppNames(),
 		Clusters:   []string{"myrinet"},
 		Protocols:  protos,
 		Nodes:      []int{nodes},
 		PaperScale: paperScale,
 	}, workers)
-
-	fmt.Printf("%-8s", "app")
-	for _, proto := range protos {
-		fmt.Printf(" %14s", proto)
+	if err != nil {
+		return err
 	}
-	fmt.Println()
+
+	fmt.Fprintf(w, "%-8s", "app")
+	for _, proto := range protos {
+		fmt.Fprintf(w, " %14s", proto)
+	}
+	fmt.Fprintln(w)
 	// Expansion order is app-major, protocol-minor: one row per app.
 	for i, name := range hyperion.AppNames() {
-		fmt.Printf("%-8s", name)
+		fmt.Fprintf(w, "%-8s", name)
 		for j, proto := range protos {
 			pr := out.Points[i*len(protos)+j]
 			if !pr.Result.Check.Valid {
-				fatalIf(fmt.Errorf("%s/%s invalid: %s", name, proto, pr.Result.Check.Summary))
+				return fmt.Errorf("%s/%s invalid: %s", name, proto, pr.Result.Check.Summary)
 			}
-			fmt.Printf(" %13.6fs", pr.Result.Seconds())
+			fmt.Fprintf(w, " %13.6fs", pr.Result.Seconds())
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	return nil
 }
 
 // runCacheCap sweeps the per-node cache capacity (pages), showing the
 // cost of memory pressure under both protocols.
-func runCacheCap(appName, clusterName string, nodes int, paperScale bool, workers int) {
+func runCacheCap(w io.Writer, appName, clusterName string, nodes int, paperScale bool, workers int) error {
 	caps := []int{0, 64, 16, 8, 4}
 	overrides := make([]sweep.Override, len(caps))
 	for i, capacity := range caps {
@@ -134,7 +185,7 @@ func runCacheCap(appName, clusterName string, nodes int, paperScale bool, worker
 		}
 		overrides[i] = sweep.Override{Label: label, CacheCapacityPages: &c}
 	}
-	out := runSpec(sweep.Spec{
+	out, err := runSpec(sweep.Spec{
 		Apps:       []string{appName},
 		Clusters:   []string{clusterName},
 		Protocols:  harness.Protocols,
@@ -142,40 +193,41 @@ func runCacheCap(appName, clusterName string, nodes int, paperScale bool, worker
 		PaperScale: paperScale,
 		Costs:      overrides,
 	}, workers)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("%-14s %12s %12s %12s\n", "capacity_pages", "java_ic (s)", "java_pf (s)", "improvement")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s\n", "capacity_pages", "java_ic (s)", "java_pf (s)", "improvement")
 	// Expansion order is override-major, protocol-minor.
 	for i := range overrides {
 		times := map[string]float64{}
 		for j, proto := range harness.Protocols {
 			pr := out.Points[i*len(harness.Protocols)+j]
 			if !pr.Result.Check.Valid {
-				fatalIf(fmt.Errorf("cachecap %s/%s invalid: %s", overrides[i].Label, proto, pr.Result.Check.Summary))
+				return fmt.Errorf("cachecap %s/%s invalid: %s", overrides[i].Label, proto, pr.Result.Check.Summary)
 			}
 			times[proto] = pr.Result.Seconds()
 		}
 		impr := (times["java_ic"] - times["java_pf"]) / times["java_ic"] * 100
-		fmt.Printf("%-14s %12.6f %12.6f %11.1f%%\n", overrides[i].Label, times["java_ic"], times["java_pf"], impr)
+		fmt.Fprintf(w, "%-14s %12.6f %12.6f %11.1f%%\n", overrides[i].Label, times["java_ic"], times["java_pf"], impr)
 	}
+	return nil
 }
 
-func runGrid(paperScale bool, workers int) {
+func runGrid(w io.Writer, paperScale bool, workers int) error {
 	spec := sweep.PaperGrid()
 	spec.PaperScale = paperScale
-	out := runSpec(spec, workers)
-	fmt.Println("app,cluster,nodes,protocol,seconds,valid,messages,bytes,checks,faults,mprotects,fetches")
+	out, err := runSpec(spec, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "app,cluster,nodes,protocol,seconds,valid,messages,bytes,checks,faults,mprotects,fetches")
 	for _, pr := range out.Points {
 		res := pr.Result
-		fmt.Printf("%s,%s,%d,%s,%.9f,%v,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%s,%.9f,%v,%d,%d,%d,%d,%d,%d\n",
 			res.App, res.Cluster, res.Nodes, res.Protocol, res.Seconds(), res.Check.Valid,
 			res.Messages, res.Bytes, res.Stats.LocalityChecks, res.Stats.PageFaults,
 			res.Stats.MprotectCalls, res.Stats.PageFetches)
 	}
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hyperion-bench:", err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repro") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+func TestRunTpnSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "tpn", "-app", "pi", "-cluster", "sci", "-nodes", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(out.String()), "\n")) < 4 {
+		t.Errorf("tpn sweep output too short:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "warp-drive"},
+		{"-app", "warp"},
+		{"-cluster", "dialup"},
+		{"stray-arg"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -12,49 +12,73 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/version"
 )
 
 func main() {
-	figID := flag.Int("fig", 0, "figure to regenerate (1-5); 0 = all")
-	paper := flag.Bool("paperscale", false, "use the paper's full problem sizes (much slower)")
-	csv := flag.Bool("csv", false, "emit CSV instead of ASCII charts")
-	report := flag.Bool("report", false, "check the §4.3 claims against the regenerated figures")
-	width := flag.Int("width", 72, "chart width")
-	height := flag.Int("height", 20, "chart height")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-figures:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hyperion-figures", flag.ContinueOnError)
+	figID := fs.Int("fig", 0, "figure to regenerate (1-5); 0 = all")
+	paper := fs.Bool("paperscale", false, "use the paper's full problem sizes (much slower)")
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII charts")
+	report := fs.Bool("report", false, "check the §4.3 claims against the regenerated figures")
+	width := fs.Int("width", 72, "chart width")
+	height := fs.Int("height", 20, "chart height")
+	showVersion := fs.Bool("version", false, "print build version and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // usage printed; -h is success
+		}
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String())
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
 
 	var figs []harness.Figure
 	if *figID != 0 {
 		spec, err := harness.SpecByID(*figID)
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		f, err := harness.BuildSpec(spec, *paper)
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		figs = []harness.Figure{f}
 	} else {
 		var err error
 		figs, err = harness.BuildAll(*paper)
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 	}
 
 	for _, f := range figs {
 		if *csv {
-			fmt.Printf("# Figure %d. %s\n%s\n", f.ID, f.Title, f.CSV())
+			fmt.Fprintf(stdout, "# Figure %d. %s\n%s\n", f.ID, f.Title, f.CSV())
 		} else {
-			fmt.Println(f.Render(*width, *height))
+			fmt.Fprintln(stdout, f.Render(*width, *height))
 		}
 	}
-	fmt.Println(harness.ImprovementTable(figs))
+	fmt.Fprintln(stdout, harness.ImprovementTable(figs))
 	if *report {
-		fmt.Println(harness.ReportClaims(harness.CheckClaims(figs)))
+		fmt.Fprintln(stdout, harness.ReportClaims(harness.CheckClaims(figs)))
 	}
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hyperion-figures:", err)
-		os.Exit(1)
-	}
+	return nil
 }

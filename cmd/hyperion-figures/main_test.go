@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repro") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fig", "9"}, // no such figure
+		{"stray-arg"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -11,30 +11,59 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/version"
 
 	hyperion "repro"
 )
 
 func main() {
-	appName := flag.String("app", "jacobi", "benchmark: "+strings.Join(hyperion.AppNames(), ", "))
-	clusterName := flag.String("cluster", "myrinet", "platform: myrinet (200MHz/BIP), sci (450MHz/SISCI), tcp (450MHz/FastEthernet)")
-	nodes := flag.Int("nodes", 4, "number of cluster nodes")
-	protocol := flag.String("protocol", "java_pf", "consistency protocol: "+strings.Join(hyperion.Protocols(), ", "))
-	threadsPerNode := flag.Int("threads-per-node", 1, "application threads per node (paper uses 1; >1 is its future-work experiment)")
-	paperScale := flag.Bool("paperscale", false, "use the paper's full §4.1 problem sizes (much slower)")
-	traceN := flag.Int("trace", 0, "record protocol events and dump the first N (0 = off)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-run:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: parse args, run one
+// benchmark, print the report to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hyperion-run", flag.ContinueOnError)
+	appName := fs.String("app", "jacobi", "benchmark: "+strings.Join(hyperion.AppNames(), ", "))
+	clusterName := fs.String("cluster", "myrinet", "platform: myrinet (200MHz/BIP), sci (450MHz/SISCI), tcp (450MHz/FastEthernet)")
+	nodes := fs.Int("nodes", 4, "number of cluster nodes")
+	protocol := fs.String("protocol", "java_pf", "consistency protocol: "+strings.Join(hyperion.Protocols(), ", "))
+	threadsPerNode := fs.Int("threads-per-node", 1, "application threads per node (paper uses 1; >1 is its future-work experiment)")
+	paperScale := fs.Bool("paperscale", false, "use the paper's full §4.1 problem sizes (much slower)")
+	traceN := fs.Int("trace", 0, "record protocol events and dump the first N (0 = off)")
+	showVersion := fs.Bool("version", false, "print build version and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // usage printed; -h is success
+		}
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String())
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
 
 	cl, err := clusterByName(*clusterName)
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
 	app, err := hyperion.NewApp(*appName, *paperScale)
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
 
 	cfg := harness.RunConfig{
 		Cluster:        cl,
@@ -48,21 +77,24 @@ func main() {
 		cfg.Tracer = tracer
 	}
 	res, err := hyperion.RunBenchmark(app, cfg)
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("app:        %s\n", res.App)
-	fmt.Printf("platform:   %s, %d node(s), %d thread(s)\n", res.Cluster, res.Nodes, res.Workers)
-	fmt.Printf("protocol:   %s\n", res.Protocol)
-	fmt.Printf("exec time:  %.6f s (virtual)\n", res.Seconds())
-	fmt.Printf("validation: %s (valid=%v)\n", res.Check.Summary, res.Check.Valid)
-	fmt.Printf("network:    %d messages, %d bytes\n", res.Messages, res.Bytes)
-	fmt.Printf("events:     %s\n", res.Stats)
+	fmt.Fprintf(stdout, "app:        %s\n", res.App)
+	fmt.Fprintf(stdout, "platform:   %s, %d node(s), %d thread(s)\n", res.Cluster, res.Nodes, res.Workers)
+	fmt.Fprintf(stdout, "protocol:   %s\n", res.Protocol)
+	fmt.Fprintf(stdout, "exec time:  %.6f s (virtual)\n", res.Seconds())
+	fmt.Fprintf(stdout, "validation: %s (valid=%v)\n", res.Check.Summary, res.Check.Valid)
+	fmt.Fprintf(stdout, "network:    %d messages, %d bytes\n", res.Messages, res.Bytes)
+	fmt.Fprintf(stdout, "events:     %s\n", res.Stats)
 	if tracer != nil {
-		fmt.Printf("\ntrace summary:\n%s\nfirst %d events:\n%s", tracer.Summary(), *traceN, tracer.Dump(*traceN))
+		fmt.Fprintf(stdout, "\ntrace summary:\n%s\nfirst %d events:\n%s", tracer.Summary(), *traceN, tracer.Dump(*traceN))
 	}
 	if !res.Check.Valid {
-		os.Exit(1)
+		return fmt.Errorf("validation failed: %s", res.Check.Summary)
 	}
+	return nil
 }
 
 func clusterByName(name string) (model.Cluster, error) {
@@ -75,11 +107,4 @@ func clusterByName(name string) (model.Cluster, error) {
 		return model.CommodityTCP(), nil
 	}
 	return model.Cluster{}, fmt.Errorf("unknown cluster %q (myrinet, sci, tcp)", name)
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hyperion-run:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repro") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "pi", "-cluster", "sci", "-nodes", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"app:        pi", "protocol:   java_pf", "exec time:", "valid=true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-app", "warp"},
+		{"-cluster", "dialup"},
+		{"-app", "pi", "-protocol", "bogus"},
+		{"stray-arg"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

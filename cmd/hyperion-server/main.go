@@ -1,0 +1,130 @@
+// Command hyperion-server serves the simulator over HTTP: sweep
+// submissions queue up, execute concurrently, deduplicate against the
+// content-addressed result cache and against identical in-flight points,
+// and stream per-point progress over SSE.
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/sweeps              submit a sweep.Spec JSON, returns a job id
+//	GET  /v1/sweeps              list jobs
+//	GET  /v1/sweeps/{id}         job status and partial results
+//	GET  /v1/sweeps/{id}/events  SSE progress stream
+//	GET  /v1/results             query cached results by axis
+//	GET  /healthz                liveness
+//	GET  /metrics                text-format counters and latency histogram
+//
+// Shutdown (SIGINT/SIGTERM) is graceful: running points drain into the
+// cache, unfinished jobs persist to -state and resume on restart.
+//
+// Usage:
+//
+//	hyperion-server -addr :8080 -cache .sweep-cache -state .sweep-queue.json
+//	curl -d '{"apps":["jacobi"],"nodes":[1,2,4]}' localhost:8080/v1/sweeps
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sweep"
+	"repro/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command. It blocks serving until a
+// termination signal arrives.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hyperion-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheDir := fs.String("cache", "", "result cache directory (empty = no cross-restart dedup, no /v1/results)")
+	statePath := fs.String("state", "", "queue-state file for graceful restarts (empty = no persistence)")
+	workers := fs.Int("workers", 0, "worker goroutines per job (default NumCPU)")
+	jobs := fs.Int("jobs", 2, "jobs executing concurrently")
+	queueCap := fs.Int("queue", 64, "max queued jobs before submissions get 503")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "max time to wait for running points on shutdown")
+	showVersion := fs.Bool("version", false, "print build version and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // usage printed; -h is success
+		}
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String())
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+
+	cfg := service.Config{
+		Workers:           *workers,
+		MaxConcurrentJobs: *jobs,
+		QueueCap:          *queueCap,
+		StatePath:         *statePath,
+	}
+	if *cacheDir != "" {
+		cache, err := sweep.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cfg.Cache = cache
+	}
+	s, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(stdout, "hyperion-server %s\nlistening on http://%s (cache=%q state=%q)\n",
+		version.String(), ln.Addr(), *cacheDir, *statePath)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "caught %s; draining (max %s)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// The service must begin draining before (not after) the HTTP
+	// listener shuts down: an attached SSE stream only closes once the
+	// drain finishes, so sequencing httpSrv.Shutdown first would
+	// deadlock the two against each other until the timeout.
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Shutdown(ctx) }()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "hyperion-server: http shutdown: %v\n", err)
+	}
+	if err := <-drainErr; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stdout, "drained; bye")
+	return nil
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuf is a Writer safe to read while run() writes from its goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repro") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-addr", "999.999.999.999:0"},
+		{"stray-arg"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunServeAndSignal boots the real binary path on an ephemeral
+// port, submits a one-point sweep over HTTP, waits for it to finish,
+// and shuts the server down with SIGTERM — the full operational loop.
+func TestRunServeAndSignal(t *testing.T) {
+	dir := t.TempDir()
+	out := &syncBuf{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-cache", dir + "/cache", "-state", dir + "/queue.json"}, out)
+	}()
+
+	// The listen address is printed once the listener is up.
+	addrRe := regexp.MustCompile(`listening on http://([^ ]+) `)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("server never announced its address; output:\n%s", out.String())
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"apps":["pi"],"clusters":["sci"],"protocols":["java_pf"],"nodes":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d, id %q, err %v", resp.StatusCode, sub.ID, err)
+	}
+
+	var state string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/sweeps/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		state = v.State
+		if state == "done" || state == "failed" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("job state %q, want done", state)
+	}
+
+	// run() registered its handler before serving; SIGTERM drains.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("output lacks drain notice:\n%s", out.String())
+	}
+	if _, err := os.Stat(dir + "/queue.json"); err != nil {
+		t.Errorf("state file not written: %v", err)
+	}
+}

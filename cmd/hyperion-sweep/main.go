@@ -10,6 +10,10 @@
 // re-running a spec only executes new or changed points and an
 // interrupted sweep resumes where it stopped.
 //
+// Results stream: CSV rows and JSON point entries are written (and
+// flushed) as points complete, in completion order, so an interrupted
+// run still leaves usable output behind.
+//
 // Usage:
 //
 //	hyperion-sweep                              # full paper grid, CSV on stdout
@@ -23,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,36 +35,58 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/sweep"
+	"repro/internal/version"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hyperion-sweep", flag.ContinueOnError)
 	var (
-		specPath   = flag.String("spec", "", "JSON sweep spec file (axis flags override its fields)")
-		appsF      = flag.String("apps", "", "comma-separated benchmarks: "+strings.Join(sweep.AppNames(), ","))
-		clustersF  = flag.String("clusters", "", "comma-separated platforms: "+strings.Join(sweep.ClusterNames(), ","))
-		protosF    = flag.String("protocols", "", "comma-separated protocols (default java_ic,java_pf)")
-		nodesF     = flag.String("nodes", "", "comma-separated node counts (default 1..MaxNodes per platform)")
-		tpnF       = flag.String("tpn", "", "comma-separated threads-per-node values (default 1)")
-		repeats    = flag.Int("repeats", 0, "median-of-k repeats per point")
-		paperScale = flag.Bool("paperscale", false, "use the paper's full problem sizes")
-		cacheDir   = flag.String("cache", "", "result cache directory (empty = no caching)")
-		workers    = flag.Int("workers", 0, "worker goroutines (default NumCPU)")
-		outPath    = flag.String("out", "-", "results file (- = stdout)")
-		format     = flag.String("format", "csv", "results format: csv or json")
-		aggregate  = flag.Bool("aggregate", false, "print speedup curves, protocol crossovers and best configs")
-		printSpec  = flag.Bool("print-spec", false, "print the resolved spec as JSON and exit")
-		quiet      = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+		specPath    = fs.String("spec", "", "JSON sweep spec file (axis flags override its fields)")
+		appsF       = fs.String("apps", "", "comma-separated benchmarks: "+strings.Join(sweep.AppNames(), ","))
+		clustersF   = fs.String("clusters", "", "comma-separated platforms: "+strings.Join(sweep.ClusterNames(), ","))
+		protosF     = fs.String("protocols", "", "comma-separated protocols (default java_ic,java_pf)")
+		nodesF      = fs.String("nodes", "", "comma-separated node counts (default 1..MaxNodes per platform)")
+		tpnF        = fs.String("tpn", "", "comma-separated threads-per-node values (default 1)")
+		repeats     = fs.Int("repeats", 0, "median-of-k repeats per point")
+		paperScale  = fs.Bool("paperscale", false, "use the paper's full problem sizes")
+		cacheDir    = fs.String("cache", "", "result cache directory (empty = no caching)")
+		workers     = fs.Int("workers", 0, "worker goroutines (default NumCPU)")
+		outPath     = fs.String("out", "-", "results file (- = stdout)")
+		format      = fs.String("format", "csv", "results format: csv or json (both stream as points complete)")
+		aggregate   = fs.Bool("aggregate", false, "print speedup curves, protocol crossovers and best configs")
+		printSpec   = fs.Bool("print-spec", false, "print the resolved spec as JSON and exit")
+		quiet       = fs.Bool("quiet", false, "suppress per-point progress on stderr")
+		showVersion = fs.Bool("version", false, "print build version and exit")
 	)
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fatalf("unexpected arguments %q", flag.Args())
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // usage printed; -h is success
+		}
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String())
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
 	}
 
 	spec := sweep.PaperGrid()
 	if *specPath != "" {
 		var err error
 		spec, err = sweep.LoadSpec(*specPath)
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 	}
 	if *appsF != "" {
 		spec.Apps = splitList(*appsF)
@@ -71,10 +98,18 @@ func main() {
 		spec.Protocols = splitList(*protosF)
 	}
 	if *nodesF != "" {
-		spec.Nodes = splitInts(*nodesF)
+		nodes, err := splitInts(*nodesF)
+		if err != nil {
+			return err
+		}
+		spec.Nodes = nodes
 	}
 	if *tpnF != "" {
-		spec.ThreadsPerNode = splitInts(*tpnF)
+		tpn, err := splitInts(*tpnF)
+		if err != nil {
+			return err
+		}
+		spec.ThreadsPerNode = tpn
 	}
 	if *repeats > 0 {
 		spec.Repeats = *repeats
@@ -85,22 +120,35 @@ func main() {
 
 	if *printSpec {
 		blob, err := json.MarshalIndent(spec, "", "  ")
-		fatalIf(err)
-		fmt.Println(string(blob))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(blob))
 		points, err := spec.Expand()
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "%d points\n", len(points))
-		return
+		return nil
 	}
 
-	// Fail on output problems before spending a sweep's worth of work.
+	// Fail on output problems before spending a sweep's worth of work,
+	// and on spec problems before writing a byte of output — a bad spec
+	// must not leave a header-only CSV or a truncated JSON fragment
+	// behind.
 	if *format != "csv" && *format != "json" {
-		fatalf("unknown format %q (csv or json)", *format)
+		return fmt.Errorf("unknown format %q (csv or json)", *format)
 	}
-	w := os.Stdout
+	points, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	w := stdout
 	if *outPath != "-" {
 		f, err := os.Create(*outPath)
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		defer f.Close()
 		w = f
 	}
@@ -108,11 +156,31 @@ func main() {
 	x := &sweep.Executor{Workers: *workers}
 	if *cacheDir != "" {
 		cache, err := sweep.OpenCache(*cacheDir)
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		x.Cache = cache
 	}
-	if !*quiet {
-		x.OnPoint = func(done, total int, pr sweep.PointResult) {
+
+	// Stream results as points complete: the writer emits one CSV row or
+	// JSON points-array element per finished point from inside OnPoint,
+	// so an interrupted sweep has everything that finished on disk.
+	var sw streamWriter
+	switch *format {
+	case "csv":
+		sw = &csvStream{w: w}
+	case "json":
+		sw = &jsonStream{w: w}
+	}
+	if err := sw.begin(); err != nil {
+		return err
+	}
+	var writeErr error
+	x.OnPoint = func(done, total int, pr sweep.PointResult) {
+		if writeErr == nil {
+			writeErr = sw.point(pr)
+		}
+		if !*quiet {
 			status := "ran"
 			switch {
 			case pr.Err != nil:
@@ -125,30 +193,109 @@ func main() {
 	}
 
 	start := time.Now()
-	out, err := x.Run(spec)
-	fatalIf(err)
+	out, err := x.RunPoints(points)
+	if err != nil {
+		return err
+	}
+	if writeErr != nil {
+		return fmt.Errorf("writing results: %w", writeErr)
+	}
+	if err := sw.end(out); err != nil {
+		return fmt.Errorf("writing results: %w", err)
+	}
 	fmt.Fprintf(os.Stderr, "%d points: %d executed, %d cached, %d failed in %.1fs\n",
 		len(out.Points), out.Executed, out.CacheHits, out.Failed, time.Since(start).Seconds())
 
-	if *format == "json" {
-		fatalIf(writeJSON(w, out))
-	} else {
-		fatalIf(sweep.WriteCSV(w, out.Points))
-	}
-
 	if *aggregate {
 		protoA, protoB := crossoverPair(spec)
-		fmt.Println("\n== speedup curves ==")
-		fmt.Print(sweep.FormatSpeedups(sweep.Speedups(out.Points)))
-		fmt.Printf("\n== protocol crossovers (%s vs %s) ==\n", protoA, protoB)
-		fmt.Print(sweep.FormatCrossovers(sweep.Crossovers(out.Points, protoA, protoB), protoA, protoB))
-		fmt.Println("\n== best config per app ==")
-		fmt.Print(sweep.FormatBest(sweep.BestConfigs(out.Points)))
+		fmt.Fprintln(stdout, "\n== speedup curves ==")
+		fmt.Fprint(stdout, sweep.FormatSpeedups(sweep.Speedups(out.Points)))
+		fmt.Fprintf(stdout, "\n== protocol crossovers (%s vs %s) ==\n", protoA, protoB)
+		fmt.Fprint(stdout, sweep.FormatCrossovers(sweep.Crossovers(out.Points, protoA, protoB), protoA, protoB))
+		fmt.Fprintln(stdout, "\n== best config per app ==")
+		fmt.Fprint(stdout, sweep.FormatBest(sweep.BestConfigs(out.Points)))
 	}
 
-	if err := out.Err(); err != nil {
-		fatalIf(err)
+	return out.Err()
+}
+
+// streamWriter emits results incrementally: begin before the sweep,
+// point per completed point (in completion order), end with the final
+// accounting.
+type streamWriter interface {
+	begin() error
+	point(pr sweep.PointResult) error
+	end(out *sweep.Outcome) error
+}
+
+// csvStream writes the header up front and one row per successful point
+// as it lands.
+type csvStream struct {
+	w io.Writer
+}
+
+func (s *csvStream) begin() error {
+	_, err := fmt.Fprintln(s.w, sweep.CSVHeader)
+	return err
+}
+
+func (s *csvStream) point(pr sweep.PointResult) error {
+	if pr.Err != nil {
+		return nil // surfaced by Outcome.Err at the end
 	}
+	_, err := fmt.Fprintln(s.w, sweep.CSVRow(pr))
+	return err
+}
+
+func (s *csvStream) end(*sweep.Outcome) error { return nil }
+
+// jsonStream writes a single JSON object whose "points" array fills in
+// as the sweep progresses; the summary fields follow once it finishes.
+// A truncated run is a syntactically recoverable prefix holding every
+// completed point.
+type jsonStream struct {
+	w io.Writer
+	n int
+}
+
+// jsonPoint is the externalized form of one point result.
+type jsonPoint struct {
+	Point  sweep.Point     `json:"point"`
+	Result *harness.Result `json:"result,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (s *jsonStream) begin() error {
+	_, err := fmt.Fprint(s.w, "{\n  \"points\": [")
+	return err
+}
+
+func (s *jsonStream) point(pr sweep.PointResult) error {
+	jp := jsonPoint{Point: pr.Point, Cached: pr.Cached}
+	if pr.Err != nil {
+		jp.Error = pr.Err.Error()
+	} else {
+		r := pr.Result
+		jp.Result = &r
+	}
+	blob, err := json.Marshal(jp)
+	if err != nil {
+		return err
+	}
+	sep := ",\n    "
+	if s.n == 0 {
+		sep = "\n    "
+	}
+	s.n++
+	_, err = fmt.Fprintf(s.w, "%s%s", sep, blob)
+	return err
+}
+
+func (s *jsonStream) end(out *sweep.Outcome) error {
+	_, err := fmt.Fprintf(s.w, "\n  ],\n  \"executed\": %d,\n  \"cache_hits\": %d,\n  \"failed\": %d\n}\n",
+		out.Executed, out.CacheHits, out.Failed)
+	return err
 }
 
 // crossoverPair picks the two protocols to compare: the spec's first
@@ -164,36 +311,6 @@ func crossoverPair(spec sweep.Spec) (string, string) {
 	return ps[0], ps[1]
 }
 
-// jsonPoint is the externalized form of one point result.
-type jsonPoint struct {
-	Point  sweep.Point     `json:"point"`
-	Result *harness.Result `json:"result,omitempty"`
-	Cached bool            `json:"cached,omitempty"`
-	Error  string          `json:"error,omitempty"`
-}
-
-func writeJSON(w *os.File, out *sweep.Outcome) error {
-	view := struct {
-		Executed  int         `json:"executed"`
-		CacheHits int         `json:"cache_hits"`
-		Failed    int         `json:"failed"`
-		Points    []jsonPoint `json:"points"`
-	}{Executed: out.Executed, CacheHits: out.CacheHits, Failed: out.Failed}
-	for _, pr := range out.Points {
-		jp := jsonPoint{Point: pr.Point, Cached: pr.Cached}
-		if pr.Err != nil {
-			jp.Error = pr.Err.Error()
-		} else {
-			r := pr.Result
-			jp.Result = &r
-		}
-		view.Points = append(view.Points, jp)
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(view)
-}
-
 func splitList(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
@@ -204,26 +321,14 @@ func splitList(s string) []string {
 	return out
 }
 
-func splitInts(s string) []int {
+func splitInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range splitList(s) {
 		v, err := strconv.Atoi(part)
 		if err != nil {
-			fatalf("bad integer %q in list %q", part, s)
+			return nil, fmt.Errorf("bad integer %q in list %q", part, s)
 		}
 		out = append(out, v)
 	}
-	return out
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hyperion-sweep: "+format+"\n", args...)
-	os.Exit(1)
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hyperion-sweep:", err)
-		os.Exit(1)
-	}
+	return out, nil
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repro") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+func TestRunPrintSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-apps", "jacobi", "-nodes", "1,2", "-print-spec"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var spec sweep.Spec
+	if err := json.Unmarshal(out.Bytes(), &spec); err != nil {
+		t.Fatalf("print-spec is not JSON: %v\n%s", err, out.String())
+	}
+	if len(spec.Apps) != 1 || spec.Apps[0] != "jacobi" || len(spec.Nodes) != 2 {
+		t.Errorf("resolved spec %+v", spec)
+	}
+}
+
+// TestRunStreamsCSV runs a two-point sweep and checks the CSV comes out
+// row-per-point with the streaming writer.
+func TestRunStreamsCSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "pi", "-clusters", "sci", "-protocols", "java_pf", "-nodes", "1,2", "-quiet"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out.String())
+	}
+	if lines[0] != sweep.CSVHeader {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, row := range lines[1:] {
+		if !strings.HasPrefix(row, "pi,sci,") {
+			t.Errorf("row %q", row)
+		}
+	}
+}
+
+// TestRunStreamsJSONToFile checks the JSON stream closes into a valid
+// document with the summary fields, via -out.
+func TestRunStreamsJSONToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	var out bytes.Buffer
+	err := run([]string{"-apps", "pi", "-clusters", "sci", "-protocols", "java_pf", "-nodes", "1",
+		"-format", "json", "-out", path, "-quiet"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Points []struct {
+			Point  sweep.Point `json:"point"`
+			Cached bool        `json:"cached"`
+		} `json:"points"`
+		Executed  int `json:"executed"`
+		CacheHits int `json:"cache_hits"`
+		Failed    int `json:"failed"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("streamed JSON invalid: %v\n%s", err, data)
+	}
+	if len(doc.Points) != 1 || doc.Executed != 1 || doc.Failed != 0 {
+		t.Fatalf("doc %+v", doc)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "xml"},
+		{"-apps", "warp"},
+		{"-nodes", "two"},
+		{"-spec", "no-such-file.json"},
+		{"stray-arg"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/apps"
 )
@@ -26,6 +28,32 @@ type Job struct {
 type JobResult struct {
 	Result Result
 	Err    error
+	// Elapsed is the host wall-clock time the job spent executing —
+	// the pool's latency instrumentation. Zero for jobs that never ran
+	// (see PoolHooks.Cancel).
+	Elapsed time.Duration
+}
+
+// ErrCanceled marks a job that was still queued when its pool was
+// canceled: the pool drained its running jobs and never started this one.
+var ErrCanceled = errors.New("harness: job canceled before it started")
+
+// PoolHooks instruments a RunJobs pool. All callbacks are optional and
+// are invoked serially (never concurrently with each other), so they may
+// touch shared state without locking.
+type PoolHooks struct {
+	// OnStart fires as a worker picks up job i.
+	OnStart func(i int)
+	// OnDone fires as each job completes (or is canceled), with the
+	// number of settled jobs so far — the progress hook. It is called
+	// exactly len(jobs) times.
+	OnDone func(done int, i int, jr JobResult)
+	// Cancel, when non-nil and closed, stops the pool from starting
+	// queued jobs. Jobs already running drain to completion; jobs never
+	// started settle with ErrCanceled. This is the graceful-shutdown
+	// primitive: close Cancel, wait for RunJobs to return, and every
+	// result is either fully computed or cleanly marked canceled.
+	Cancel <-chan struct{}
 }
 
 // RunJobs executes jobs concurrently on a worker pool and returns their
@@ -36,6 +64,12 @@ type JobResult struct {
 // the whole sweep. onDone, when non-nil, is invoked serially as each job
 // completes, with the number of completed jobs so far — the progress hook.
 func RunJobs(jobs []Job, workers int, onDone func(done int, i int, jr JobResult)) []JobResult {
+	return RunJobsHooked(jobs, workers, PoolHooks{OnDone: onDone})
+}
+
+// RunJobsHooked is RunJobs with full pool instrumentation: start/done
+// callbacks and cooperative cancellation.
+func RunJobsHooked(jobs []Job, workers int, hooks PoolHooks) []JobResult {
 	results := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -49,34 +83,76 @@ func RunJobs(jobs []Job, workers int, onDone func(done int, i int, jr JobResult)
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes onDone and the done counter
+	var mu sync.Mutex // serializes the hooks and the done counter
 	done := 0
+	settle := func(i int, jr JobResult) {
+		mu.Lock()
+		results[i] = jr
+		done++
+		if hooks.OnDone != nil {
+			hooks.OnDone(done, i, jr)
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(jobs[i])
-				if onDone != nil {
+				// A job can be in flight on idx when Cancel closes;
+				// re-checking here guarantees no job *starts* after
+				// cancellation, whatever the dispatch race decided.
+				if hooks.Cancel != nil {
+					select {
+					case <-hooks.Cancel:
+						settle(i, JobResult{Err: ErrCanceled})
+						continue
+					default:
+					}
+				}
+				if hooks.OnStart != nil {
 					mu.Lock()
-					done++
-					onDone(done, i, results[i])
+					hooks.OnStart(i)
 					mu.Unlock()
 				}
+				settle(i, runJob(jobs[i]))
 			}
 		}()
 	}
-	for i := range jobs {
-		idx <- i
+	next := 0
+dispatch:
+	for ; next < len(jobs); next++ {
+		// Checked separately first: in the combined select below an
+		// idle worker's receive and a closed Cancel are both ready and
+		// chosen between at random, which could keep feeding fast jobs
+		// long after cancellation.
+		select {
+		case <-hooks.Cancel:
+			break dispatch
+		default:
+		}
+		select {
+		case idx <- next:
+		case <-hooks.Cancel:
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	// Jobs never handed to a worker settle as canceled, after the pool
+	// has drained, so OnDone still fires once per job and in a serial
+	// stream.
+	for i := next; i < len(jobs); i++ {
+		settle(i, JobResult{Err: ErrCanceled})
+	}
 	return results
 }
 
 // runJob executes one job with panic isolation.
 func runJob(j Job) (jr JobResult) {
+	start := time.Now()
 	defer func() {
+		jr.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
 			jr.Err = fmt.Errorf("harness: run panicked: %v", r)
 		}

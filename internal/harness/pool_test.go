@@ -124,3 +124,93 @@ func TestRunJobsEmpty(t *testing.T) {
 		t.Fatalf("RunJobs(nil) = %v", got)
 	}
 }
+
+// slowApp blocks until released, so tests can hold jobs "running" while
+// they cancel the pool.
+type slowApp struct{ release <-chan struct{} }
+
+func (slowApp) Name() string { return "slow" }
+func (a slowApp) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
+	<-a.release
+	return apps.Check{Summary: "slow done", Valid: true}
+}
+
+func TestRunJobsHookedCancelDrains(t *testing.T) {
+	release := make(chan struct{})
+	cancel := make(chan struct{})
+	mk := func() apps.App { return slowApp{release: release} }
+	cfg := RunConfig{Cluster: model.SCI450(), Nodes: 1, Protocol: "java_pf"}
+	jobs := []Job{{MakeApp: mk, Config: cfg}, {MakeApp: mk, Config: cfg}, {MakeApp: mk, Config: cfg}, {MakeApp: mk, Config: cfg}}
+
+	started := make(chan int, len(jobs))
+	var doneSeq, doneIdx []int
+	var results []JobResult
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		results = RunJobsHooked(jobs, 2, PoolHooks{
+			OnStart: func(i int) { started <- i },
+			OnDone:  func(done, i int, jr JobResult) { doneSeq = append(doneSeq, done); doneIdx = append(doneIdx, i) },
+			Cancel:  cancel,
+		})
+	}()
+
+	// Two workers pick up two jobs; cancel while they are blocked, then
+	// release them. The pool must finish the two running jobs and settle
+	// the other two as canceled without starting them.
+	<-started
+	<-started
+	close(cancel)
+	close(release)
+	<-finished
+
+	ran, canceled := 0, 0
+	for i, jr := range results {
+		switch jr.Err {
+		case nil:
+			ran++
+			if !jr.Result.Check.Valid || jr.Elapsed <= 0 {
+				t.Errorf("job %d: drained job invalid or unmeasured: %+v", i, jr)
+			}
+		case ErrCanceled:
+			canceled++
+			if jr.Elapsed != 0 {
+				t.Errorf("job %d: canceled job has elapsed %v", i, jr.Elapsed)
+			}
+		default:
+			t.Errorf("job %d: err = %v", i, jr.Err)
+		}
+	}
+	if ran != 2 || canceled != 2 {
+		t.Fatalf("ran %d, canceled %d; want 2, 2", ran, canceled)
+	}
+	if len(doneSeq) != len(jobs) {
+		t.Fatalf("OnDone called %d times for %d jobs", len(doneSeq), len(jobs))
+	}
+	for k, d := range doneSeq {
+		if d != k+1 {
+			t.Fatalf("done counter out of order: %v", doneSeq)
+		}
+	}
+}
+
+func TestRunJobsHookedStartBeforeDone(t *testing.T) {
+	jobs := poolJobs()[:4]
+	startedAt := make(map[int]bool)
+	results := RunJobsHooked(jobs, 2, PoolHooks{
+		OnStart: func(i int) { startedAt[i] = true },
+		OnDone: func(done, i int, jr JobResult) {
+			if !startedAt[i] {
+				t.Errorf("job %d done before OnStart", i)
+			}
+		},
+	})
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range results {
+		if jr.Elapsed <= 0 {
+			t.Errorf("job %d: elapsed not recorded", i)
+		}
+	}
+}

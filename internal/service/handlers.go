@@ -1,0 +1,255 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// maxSpecBytes bounds a submission body; the largest realistic spec is
+// a few KB.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/sweeps            submit a sweep.Spec, get a job id (202)
+//	GET  /v1/sweeps            list jobs
+//	GET  /v1/sweeps/{id}       job status + partial results
+//	GET  /v1/sweeps/{id}/events  SSE: one event per completed point
+//	GET  /v1/results           query the result cache by axis
+//	GET  /healthz              liveness
+//	GET  /metrics              text-format operational counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/results", s.handleResults)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+// errorBody is the uniform error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec larger than %d bytes", maxSpecBytes)
+		return
+	}
+	spec, err := sweep.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v := j.view(false)
+	writeJSON(w, http.StatusAccepted, struct {
+		View
+		StatusURL string `json:"status_url"`
+		EventsURL string `json:"events_url"`
+	}{v, "/v1/sweeps/" + j.id, "/v1/sweeps/" + j.id + "/events"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view(false)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []View `json:"jobs"`
+	}{views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: every
+// already-resolved point is replayed, then live completions follow, and
+// the stream closes after the terminal "done" event. Each SSE message is
+//
+//	event: point | done
+//	data:  <Event JSON>
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sent := 0
+	for {
+		events, update, complete := j.eventsSince(sent)
+		for _, e := range events {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+				return
+			}
+			sent++
+		}
+		fl.Flush()
+		if complete {
+			return
+		}
+		select {
+		case <-update:
+		case <-r.Context().Done():
+			return
+		case <-s.drained:
+			// The server has fully drained: no further events can ever
+			// arrive for this job (it was queued or interrupted), so
+			// holding the stream open would only stall the HTTP
+			// listener's own shutdown. The loop iterates once more to
+			// flush anything appended just before the drain completed,
+			// then lands here again and closes.
+			if events, _, _ := j.eventsSince(sent); len(events) == 0 {
+				return
+			}
+		}
+	}
+}
+
+// handleResults queries the content-addressed result cache. Filters
+// (all optional, ANDed): app, cluster, protocol, nodes, tpn, paperscale.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cache == nil {
+		writeError(w, http.StatusServiceUnavailable, "server runs without a result cache")
+		return
+	}
+	q := r.URL.Query()
+	var nodes, tpn int
+	var err error
+	if v := q.Get("nodes"); v != "" {
+		if nodes, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad nodes %q", v)
+			return
+		}
+	}
+	if v := q.Get("tpn"); v != "" {
+		if tpn, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad tpn %q", v)
+			return
+		}
+	}
+	var paperScale *bool
+	if v := q.Get("paperscale"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad paperscale %q", v)
+			return
+		}
+		paperScale = &b
+	}
+	cluster := q.Get("cluster")
+	if cluster != "" {
+		if cluster, err = sweep.CanonicalCluster(cluster); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	entries, err := s.cfg.Cache.Entries()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	matched := make([]sweep.CachedPoint, 0, len(entries))
+	for _, e := range entries {
+		p := e.Point
+		if app := q.Get("app"); app != "" && p.App != app {
+			continue
+		}
+		if cluster != "" && p.Cluster != cluster {
+			continue
+		}
+		if proto := q.Get("protocol"); proto != "" && p.Protocol != proto {
+			continue
+		}
+		if nodes != 0 && p.Nodes != nodes {
+			continue
+		}
+		if tpn != 0 && p.ThreadsPerNode != tpn {
+			continue
+		}
+		if paperScale != nil && p.PaperScale != *paperScale {
+			continue
+		}
+		matched = append(matched, e)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Count   int                 `json:"count"`
+		Results []sweep.CachedPoint `json:"results"`
+	}{len(matched), matched})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}{"ok", time.Since(s.startAt).Seconds()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.metrics.render(len(s.queue))) //nolint:errcheck
+}

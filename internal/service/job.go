@@ -1,0 +1,277 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sweep"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a job slot.
+	StateQueued State = "queued"
+	// StateRunning: points are executing (or coalescing/serving from
+	// cache).
+	StateRunning State = "running"
+	// StateDone: every point resolved, none failed.
+	StateDone State = "done"
+	// StateFailed: at least one point failed.
+	StateFailed State = "failed"
+	// StateCanceled: the server shut down mid-job; completed points are
+	// in the cache, the rest never ran. Resubmitting the spec resumes
+	// from the cache.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one entry of a job's progress stream: a resolved point or the
+// terminal "done" marker. Events are what GET /v1/sweeps/{id}/events
+// serves over SSE.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "point" or "done"
+	Job  string `json:"job"`
+	// Point fields (Type == "point").
+	Index   int     `json:"index,omitempty"` // position in the job's point list
+	Point   string  `json:"point,omitempty"`
+	Status  string  `json:"status,omitempty"` // executed, cached, coalesced, failed, canceled
+	Seconds float64 `json:"seconds,omitempty"`
+	Error   string  `json:"error,omitempty"`
+	// Progress counters, on every event.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Terminal fields (Type == "done").
+	State State `json:"state,omitempty"`
+}
+
+// Job is one submitted sweep: its expanded points, their incrementally
+// filled results, and the event stream derived from them.
+type Job struct {
+	id        string
+	spec      sweep.Spec
+	points    []sweep.Point
+	submitted time.Time
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	results  []*sweep.PointResult // index-aligned with points; nil = pending
+	statuses []string             // index-aligned; "" = pending
+	counts   Counts
+	events   []Event
+	update   chan struct{} // closed and replaced on every append
+}
+
+// Counts is a job's point accounting.
+type Counts struct {
+	Done      int `json:"done"`
+	Executed  int `json:"executed"`
+	Cached    int `json:"cached"`
+	Coalesced int `json:"coalesced"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+}
+
+func newJob(id string, spec sweep.Spec, points []sweep.Point, now time.Time) *Job {
+	return &Job{
+		id:        id,
+		spec:      spec,
+		points:    points,
+		submitted: now,
+		state:     StateQueued,
+		results:   make([]*sweep.PointResult, len(points)),
+		statuses:  make([]string, len(points)),
+		update:    make(chan struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = now
+	j.mu.Unlock()
+}
+
+// classify names a resolved point's outcome.
+func classify(pr sweep.PointResult, coalesced bool) string {
+	switch {
+	case errors.Is(pr.Err, harness.ErrCanceled):
+		return "canceled"
+	case pr.Err != nil:
+		return "failed"
+	case coalesced:
+		return "coalesced"
+	case pr.Cached:
+		return "cached"
+	default:
+		return "executed"
+	}
+}
+
+// resolvePoint records one point outcome, appends its event and, when it
+// is the last, settles the job's terminal state. It returns the status
+// string and whether the job just finished.
+func (j *Job) resolvePoint(i int, pr sweep.PointResult, coalesced bool, now time.Time) (status string, finished bool) {
+	status = classify(pr, coalesced)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.results[i] != nil {
+		return status, false // duplicate resolution; keep the first
+	}
+	prCopy := pr
+	j.results[i] = &prCopy
+	j.statuses[i] = status
+	j.counts.Done++
+	switch status {
+	case "executed":
+		j.counts.Executed++
+	case "cached":
+		j.counts.Cached++
+	case "coalesced":
+		j.counts.Coalesced++
+	case "failed":
+		j.counts.Failed++
+	case "canceled":
+		j.counts.Canceled++
+	}
+	e := Event{
+		Type:  "point",
+		Job:   j.id,
+		Index: i,
+		Point: pr.Point.String(),
+
+		Status: status,
+		Done:   j.counts.Done,
+		Total:  len(j.points),
+	}
+	if pr.Err != nil {
+		e.Error = pr.Err.Error()
+	} else {
+		e.Seconds = pr.Result.Seconds()
+	}
+	j.appendEventLocked(e)
+
+	if j.counts.Done == len(j.points) {
+		switch {
+		case j.counts.Failed > 0:
+			j.state = StateFailed
+		case j.counts.Canceled > 0:
+			j.state = StateCanceled
+		default:
+			j.state = StateDone
+		}
+		j.finished = now
+		j.appendEventLocked(Event{
+			Type:  "done",
+			Job:   j.id,
+			Done:  j.counts.Done,
+			Total: len(j.points),
+			State: j.state,
+		})
+		return status, true
+	}
+	return status, false
+}
+
+// appendEventLocked stamps the sequence number, appends, and wakes every
+// subscriber. Callers hold j.mu.
+func (j *Job) appendEventLocked(e Event) {
+	e.Seq = len(j.events) + 1
+	j.events = append(j.events, e)
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// eventsSince returns a copy of the events after index from (0-based),
+// the channel that will be closed on the next append, and whether the
+// stream is complete (job terminal and all events returned).
+func (j *Job) eventsSince(from int) (events []Event, update <-chan struct{}, complete bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		events = append(events, j.events[from:]...)
+	}
+	return events, j.update, j.state.Terminal() && from+len(events) == len(j.events)
+}
+
+// PointView is the externalized state of one point of a job.
+type PointView struct {
+	Point   sweep.Point `json:"point"`
+	Status  string      `json:"status"` // pending until resolved
+	Seconds float64     `json:"seconds,omitempty"`
+	Cached  bool        `json:"cached,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// View is the externalized state of a job: the GET /v1/sweeps/{id}
+// response body. Points carry partial results while the job runs.
+type View struct {
+	ID          string      `json:"id"`
+	State       State       `json:"state"`
+	Spec        sweep.Spec  `json:"spec"`
+	Total       int         `json:"total"`
+	Counts      Counts      `json:"counts"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	Points      []PointView `json:"points,omitempty"`
+}
+
+// view renders the job; withPoints includes the per-point list.
+func (j *Job) view(withPoints bool) View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Total:       len(j.points),
+		Counts:      j.counts,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if withPoints {
+		v.Points = make([]PointView, len(j.points))
+		for i, p := range j.points {
+			pv := PointView{Point: p, Status: "pending"}
+			if pr := j.results[i]; pr != nil {
+				pv.Status = j.statuses[i]
+				pv.Cached = pr.Cached
+				if pr.Err != nil {
+					pv.Error = pr.Err.Error()
+				} else {
+					pv.Seconds = pr.Result.Seconds()
+				}
+			}
+			v.Points[i] = pv
+		}
+	}
+	return v
+}
+
+// state returns the current lifecycle state.
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

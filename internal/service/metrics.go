@@ -1,0 +1,74 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// metrics is the server's operational instrumentation, exported in
+// Prometheus text form on GET /metrics. Counters come from
+// internal/stats; the latency histogram tracks per-point host wall-clock
+// execution time (cache hits and coalesced points cost no simulation and
+// are excluded).
+type metrics struct {
+	jobsSubmitted stats.Counter
+	jobsRunning   stats.Counter // gauge
+	jobsDone      stats.Counter
+	jobsFailed    stats.Counter
+	jobsCanceled  stats.Counter
+
+	pointsRunning   stats.Counter // gauge
+	pointsExecuted  stats.Counter
+	pointsCached    stats.Counter
+	pointsCoalesced stats.Counter
+	pointsFailed    stats.Counter
+	pointsCanceled  stats.Counter
+
+	pointLatency *stats.Histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{pointLatency: stats.NewHistogram(stats.LatencyBounds()...)}
+}
+
+// render writes the text exposition. queueDepth is sampled by the caller
+// (it lives in the server's queue channel, not in a counter).
+func (m *metrics) render(queueDepth int) string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("hyperion_jobs_submitted_total", "Sweep jobs admitted to the queue.", m.jobsSubmitted.Value())
+	gauge("hyperion_jobs_running", "Sweep jobs currently executing.", m.jobsRunning.Value())
+	counter("hyperion_jobs_done_total", "Sweep jobs finished with every point succeeding.", m.jobsDone.Value())
+	counter("hyperion_jobs_failed_total", "Sweep jobs finished with at least one failed point.", m.jobsFailed.Value())
+	counter("hyperion_jobs_canceled_total", "Sweep jobs interrupted by shutdown.", m.jobsCanceled.Value())
+	gauge("hyperion_queue_depth", "Jobs admitted but not yet running.", int64(queueDepth))
+
+	gauge("hyperion_points_running", "Grid points currently simulating.", m.pointsRunning.Value())
+	counter("hyperion_points_executed_total", "Grid points actually simulated (cache misses).", m.pointsExecuted.Value())
+	counter("hyperion_points_cache_hits_total", "Grid points served from the result cache.", m.pointsCached.Value())
+	counter("hyperion_points_cache_misses_total", "Grid points not found in the cache (same as executed).", m.pointsExecuted.Value())
+	counter("hyperion_points_coalesced_total", "Grid points deduplicated onto an identical in-flight execution.", m.pointsCoalesced.Value())
+	counter("hyperion_points_failed_total", "Grid points that failed.", m.pointsFailed.Value())
+	counter("hyperion_points_canceled_total", "Grid points canceled by shutdown.", m.pointsCanceled.Value())
+
+	s := m.pointLatency.Snapshot()
+	name := "hyperion_point_seconds"
+	fmt.Fprintf(&b, "# HELP %s Host wall-clock latency of executed points.\n# TYPE %s histogram\n", name, name)
+	cum := s.Cumulative()
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), cum[i])
+	}
+	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+	fmt.Fprintf(&b, "%s_sum %g\n", name, s.Sum)
+	fmt.Fprintf(&b, "%s_count %d\n", name, s.Count)
+	return b.String()
+}

@@ -1,0 +1,470 @@
+// Package service exposes the Hyperion-Go simulator as a long-running
+// experiment server: sweep submissions come in over HTTP as JSON
+// (reusing sweep.Spec for validation and grid expansion), are admitted
+// into a bounded job queue with configurable concurrency, and execute on
+// sweep.Executor worker pools. Work is deduplicated two ways:
+//
+//   - Completed points are served straight from the content-addressed
+//     sweep.Cache — resubmitting an already computed spec simulates
+//     nothing.
+//   - Identical points in flight at the same moment (two clients
+//     submitting overlapping grids) coalesce onto one execution; the
+//     followers wait for the leader's result instead of re-simulating.
+//
+// Progress streams per completed point over SSE, operational counters
+// and a per-point latency histogram are exported in text form on
+// /metrics, and shutdown is graceful: running points drain (and land in
+// the cache), unstarted work is marked canceled, and the queue state is
+// persisted so a restarted server picks the unfinished jobs back up.
+// cmd/hyperion-server is the binary front end.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/sweep"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Cache, when non-nil, deduplicates completed points across jobs
+	// and restarts, and backs the GET /v1/results query endpoint.
+	Cache *sweep.Cache
+	// Workers bounds each job's executor pool; <= 0 selects NumCPU.
+	Workers int
+	// MaxConcurrentJobs is the number of jobs executing at once
+	// (default 2). Points within a job already run concurrently;
+	// job-level concurrency is what lets a short sweep overtake a long
+	// one.
+	MaxConcurrentJobs int
+	// QueueCap bounds the number of admitted-but-not-running jobs
+	// (default 64). Submissions beyond it are rejected.
+	QueueCap int
+	// StatePath, when non-empty, is where Shutdown persists the ids and
+	// specs of unfinished jobs, and where New restores them from.
+	StatePath string
+	// NewApp overrides benchmark construction for submitted specs, for
+	// tests and embedders serving custom workloads. See
+	// sweep.Executor.NewApp for the cache-identity caveat.
+	NewApp func(name string, paperScale bool) (apps.App, error)
+}
+
+// Common submission errors, mapped to HTTP statuses by the handlers.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrStopped   = errors.New("service: server is shutting down")
+)
+
+// Server is the experiment service: job registry, bounded queue, runner
+// pool and the in-flight coalescing table. Create with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	startAt time.Time
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order
+	seq     int
+	stopped bool
+
+	queue       chan *Job
+	stop        chan struct{}
+	wg          sync.WaitGroup
+	drained     chan struct{} // closed once every runner has exited
+	drainedOnce sync.Once
+
+	flightMu sync.Mutex
+	flights  map[string]*flight // point cache-key -> in-flight execution
+}
+
+// flight is one in-flight point execution that followers can wait on.
+type flight struct {
+	done chan struct{}
+	once sync.Once
+	pr   sweep.PointResult // valid after done is closed
+}
+
+func (f *flight) resolve(pr sweep.PointResult) {
+	f.once.Do(func() {
+		f.pr = pr
+		close(f.done)
+	})
+}
+
+// New builds a Server, restores any persisted queue state, and starts
+// its job runners.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrentJobs <= 0 {
+		cfg.MaxConcurrentJobs = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		startAt: time.Now(),
+		jobs:    make(map[string]*Job),
+		stop:    make(chan struct{}),
+		drained: make(chan struct{}),
+		flights: make(map[string]*flight),
+	}
+	restored, err := s.loadState()
+	if err != nil {
+		return nil, err
+	}
+	// The queue must at least hold everything restored, or New would
+	// deadlock enqueueing it.
+	capacity := cfg.QueueCap
+	if len(restored) > capacity {
+		capacity = len(restored)
+	}
+	s.queue = make(chan *Job, capacity)
+	for _, j := range restored {
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queue <- j
+		s.metrics.jobsSubmitted.Inc()
+	}
+	for i := 0; i < cfg.MaxConcurrentJobs; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s, nil
+}
+
+// Submit validates and expands a spec, admits it as a job, and returns
+// it. ErrQueueFull and ErrStopped report admission failures; any other
+// error is a bad spec.
+func (s *Server) Submit(spec sweep.Spec) (*Job, error) {
+	points, err := spec.ExpandFor(s.cfg.NewApp)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	j := newJob(fmt.Sprintf("j-%06d", s.seq+1), spec, points, time.Now())
+	// Registered only once actually enqueued, under the same lock, so a
+	// full queue leaves no trace and ids stay dense.
+	select {
+	case s.queue <- j:
+		s.seq++
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.metrics.jobsSubmitted.Inc()
+		return j, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// runner is one job slot: it executes queued jobs until Shutdown.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		// Prefer stopping over starting another job when both are ready.
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job. Every point resolves through exactly one of
+// three paths: led here (scheduled on this job's executor, which itself
+// serves cache hits), or followed (an identical point is already in
+// flight under another job — wait for that result), with the flight
+// table deciding which.
+func (s *Server) runJob(j *Job) {
+	j.setRunning(time.Now())
+	s.metrics.jobsRunning.Add(1)
+	defer s.metrics.jobsRunning.Add(-1)
+
+	type follower struct {
+		idx int
+		f   *flight
+	}
+	var leadIdx []int
+	var followers []follower
+	leads := make(map[string]*flight)
+	s.flightMu.Lock()
+	for i, p := range j.points {
+		key := p.Key()
+		if f, ok := s.flights[key]; ok {
+			followers = append(followers, follower{i, f})
+		} else if _, ours := leads[key]; ours {
+			// Duplicate point within this very job: the first
+			// occurrence leads, this one follows it.
+			followers = append(followers, follower{i, leads[key]})
+		} else {
+			f := &flight{done: make(chan struct{})}
+			s.flights[key] = f
+			leads[key] = f
+			leadIdx = append(leadIdx, i)
+		}
+	}
+	s.flightMu.Unlock()
+
+	// A lead flight must always resolve, or followers in other jobs
+	// would hang forever: the executor reports every point through
+	// OnPoint, and this net catches a service-side panic.
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("service: job %s runner panicked: %v", j.id, r)
+			for key, f := range leads {
+				s.unregisterFlight(key, f)
+				f.resolve(sweep.PointResult{Err: err})
+			}
+			panic(r)
+		}
+	}()
+
+	if len(leadIdx) > 0 {
+		leadPts := make([]sweep.Point, len(leadIdx))
+		idxByKey := make(map[string]int, len(leadIdx))
+		for k, i := range leadIdx {
+			leadPts[k] = j.points[i]
+			idxByKey[j.points[i].Key()] = i
+		}
+		// The executor serializes OnStart and OnPoint, so this map needs
+		// no lock. It keeps the running-points gauge exact: only points
+		// that actually started decrement it, however they end.
+		startedKeys := make(map[string]bool, len(leadIdx))
+		x := &sweep.Executor{
+			Workers: s.cfg.Workers,
+			Cache:   s.cfg.Cache,
+			NewApp:  s.cfg.NewApp,
+			Cancel:  s.stop,
+			OnStart: func(p sweep.Point) {
+				startedKeys[p.Key()] = true
+				s.metrics.pointsRunning.Add(1)
+			},
+			OnPoint: func(_, _ int, pr sweep.PointResult) {
+				key := pr.Point.Key()
+				i := idxByKey[key]
+				if f := leads[key]; f != nil {
+					s.unregisterFlight(key, f)
+					f.resolve(pr)
+				}
+				if startedKeys[key] {
+					delete(startedKeys, key)
+					s.metrics.pointsRunning.Add(-1)
+				}
+				s.recordPoint(j, i, pr, false)
+			},
+		}
+		// RunPoints never returns an error for pre-expanded points;
+		// per-point problems are in the results, already recorded via
+		// OnPoint.
+		if _, err := x.RunPoints(leadPts); err != nil {
+			panic(fmt.Sprintf("service: executor rejected pre-expanded points: %v", err))
+		}
+	}
+
+	// Followers resolve as their leaders (in this or other jobs) finish.
+	for _, fo := range followers {
+		<-fo.f.done
+		pr := fo.f.pr
+		pr.Point = j.points[fo.idx] // identical key; keep our label
+		s.recordPoint(j, fo.idx, pr, true)
+	}
+}
+
+// unregisterFlight removes a flight from the table iff it is still the
+// registered one for key (a later job may have claimed the key anew).
+func (s *Server) unregisterFlight(key string, f *flight) {
+	s.flightMu.Lock()
+	if s.flights[key] == f {
+		delete(s.flights, key)
+	}
+	s.flightMu.Unlock()
+}
+
+// recordPoint settles one point of a job and updates the metrics; when
+// it is the job's last point it also settles the job.
+func (s *Server) recordPoint(j *Job, i int, pr sweep.PointResult, coalesced bool) {
+	status, finished := j.resolvePoint(i, pr, coalesced, time.Now())
+	switch status {
+	case "executed":
+		s.metrics.pointsExecuted.Inc()
+		s.metrics.pointLatency.Observe(pr.Elapsed.Seconds())
+	case "cached":
+		s.metrics.pointsCached.Inc()
+	case "coalesced":
+		s.metrics.pointsCoalesced.Inc()
+	case "failed":
+		s.metrics.pointsFailed.Inc()
+	case "canceled":
+		s.metrics.pointsCanceled.Inc()
+	}
+	if finished {
+		switch j.currentState() {
+		case StateDone:
+			s.metrics.jobsDone.Inc()
+		case StateFailed:
+			s.metrics.jobsFailed.Inc()
+		case StateCanceled:
+			s.metrics.jobsCanceled.Inc()
+		}
+	}
+}
+
+// Shutdown stops the server gracefully: no new submissions, no new
+// points; running points drain to completion (and into the cache), then
+// the ids and specs of every unfinished job are persisted to StatePath.
+// The context bounds the drain; on expiry Shutdown persists what it can
+// and returns the context's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.stopped
+	s.stopped = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+
+	go func() {
+		s.wg.Wait()
+		// Also wakes every attached SSE stream: after this, no job can
+		// emit another event.
+		s.drainedOnce.Do(func() { close(s.drained) })
+	}()
+	var err error
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if serr := s.saveState(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// --- queue-state persistence ---------------------------------------------
+
+// stateFile is the on-disk form of the unfinished-jobs queue.
+type stateFile struct {
+	Version int        `json:"version"`
+	NextSeq int        `json:"next_seq"`
+	Jobs    []stateJob `json:"jobs"`
+}
+
+type stateJob struct {
+	ID   string     `json:"id"`
+	Spec sweep.Spec `json:"spec"`
+}
+
+// saveState writes the unfinished jobs (queued, or interrupted by this
+// shutdown) to StatePath. Finished jobs are dropped: their results live
+// in the cache.
+func (s *Server) saveState() error {
+	if s.cfg.StatePath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	st := stateFile{Version: 1, NextSeq: s.seq}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		switch j.currentState() {
+		case StateQueued, StateRunning, StateCanceled:
+			st.Jobs = append(st.Jobs, stateJob{ID: j.id, Spec: j.spec})
+		}
+	}
+	s.mu.Unlock()
+
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encoding state: %w", err)
+	}
+	dir := filepath.Dir(s.cfg.StatePath)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: saving state: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(s.cfg.StatePath)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("service: saving state: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: saving state: write %v, close %v", werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.StatePath); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: saving state: %w", err)
+	}
+	return nil
+}
+
+// loadState restores persisted jobs. A spec that no longer validates
+// (registry drift) fails the load rather than silently dropping work.
+func (s *Server) loadState() ([]*Job, error) {
+	if s.cfg.StatePath == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(s.cfg.StatePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: loading state: %w", err)
+	}
+	var st stateFile
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("service: loading state: %w", err)
+	}
+	if st.Version != 1 {
+		return nil, fmt.Errorf("service: state version %d not supported", st.Version)
+	}
+	s.seq = st.NextSeq
+	var jobs []*Job
+	for _, sj := range st.Jobs {
+		points, err := sj.Spec.ExpandFor(s.cfg.NewApp)
+		if err != nil {
+			return nil, fmt.Errorf("service: restoring job %s: %w", sj.ID, err)
+		}
+		jobs = append(jobs, newJob(sj.ID, sj.Spec, points, time.Now()))
+	}
+	return jobs, nil
+}

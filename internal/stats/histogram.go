@@ -1,0 +1,118 @@
+package stats
+
+// Service-level metric primitives. The Counters type above records the
+// *protocol* events of one simulated run; Counter and Histogram record
+// *operational* events of a long-running process (the experiment server's
+// job and point accounting, point latencies). Both are safe for
+// concurrent use and cheap enough to sit on hot paths.
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing (or explicitly set) int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Set replaces the counter's value — for gauges (queue depth, running
+// jobs) that move both ways.
+func (c *Counter) Set(n int64) { c.v.Store(n) }
+
+// Value reads the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram accumulates float64 observations into fixed cumulative-style
+// buckets, Prometheus-fashion: bucket i counts observations <= Bounds[i],
+// with one implicit +Inf bucket at the end catching everything. The zero
+// value is not usable; construct with NewHistogram.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; buckets[i] counts v <= bounds[i]
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// upper bounds. An empty bounds list is allowed (the histogram then only
+// tracks count and sum).
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds not strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// LatencyBounds are NewHistogram bounds suited to per-point wall-clock
+// latencies in seconds: 1ms to ~100s in roughly 3x steps.
+func LatencyBounds() []float64 {
+	return []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram at one instant.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// entry for the implicit +Inf bucket.
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot captures the histogram's current state. Buckets are read
+// without a global lock, so a snapshot racing Observe may be off by the
+// in-flight observation — fine for monitoring, which is its purpose.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Cumulative returns the cumulative count of observations <= Bounds[i]
+// (with i == len(Bounds) meaning +Inf), the le-bucket form text
+// exposition formats emit.
+func (s HistogramSnapshot) Cumulative() []int64 {
+	out := make([]int64, len(s.Counts))
+	var total int64
+	for i, c := range s.Counts {
+		total += c
+		out[i] = total
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	c.Set(2)
+	if c.Value() != 2 {
+		t.Fatalf("Value = %d, want 2", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 3, 10, 99, 100.5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// v <= 1: {0.5, 1}; 1 < v <= 10: {3, 10}; 10 < v <= 100: {99}; +Inf: {100.5}
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("Counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-214.0) > 1e-9 {
+		t.Fatalf("Sum = %g, want 214", s.Sum)
+	}
+	cum := s.Cumulative()
+	wantCum := []int64{2, 4, 5, 6}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Fatalf("Cumulative = %v, want %v", cum, wantCum)
+		}
+	}
+}
+
+func TestHistogramEmptyBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 3 || len(s.Counts) != 1 || s.Counts[0] != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds accepted")
+		}
+	}()
+	NewHistogram(1, 1)
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBounds()...)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*per)
+	}
+	if math.Abs(s.Sum-goroutines*per*0.01) > 1e-6 {
+		t.Fatalf("Sum = %g", s.Sum)
+	}
+}

@@ -268,6 +268,18 @@ func BestConfigs(results []PointResult) []Best {
 // hyperion-bench grid columns.
 const CSVHeader = "app,cluster,nodes,tpn,protocol,label,seconds,valid,cached,messages,bytes,checks,faults,mprotects,fetches"
 
+// CSVRow renders one successful point result as a CSVHeader row (no
+// trailing newline). The streaming writers in cmd/hyperion-sweep emit
+// rows one at a time through this as points complete.
+func CSVRow(pr PointResult) string {
+	r := pr.Result
+	return fmt.Sprintf("%s,%s,%d,%d,%s,%s,%.9f,%v,%v,%d,%d,%d,%d,%d,%d",
+		pr.Point.App, pr.Point.Cluster, pr.Point.Nodes, pr.Point.ThreadsPerNode,
+		pr.Point.Protocol, pr.Point.Override.Label, r.Seconds(), r.Check.Valid, pr.Cached,
+		r.Messages, r.Bytes, r.Stats.LocalityChecks, r.Stats.PageFaults,
+		r.Stats.MprotectCalls, r.Stats.PageFetches)
+}
+
 // WriteCSV renders results (in their given order) as CSV. Failed points
 // are skipped; use Outcome.Err to surface them.
 func WriteCSV(w io.Writer, results []PointResult) error {
@@ -278,13 +290,7 @@ func WriteCSV(w io.Writer, results []PointResult) error {
 		if pr.Err != nil {
 			continue
 		}
-		r := pr.Result
-		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%s,%.9f,%v,%v,%d,%d,%d,%d,%d,%d\n",
-			pr.Point.App, pr.Point.Cluster, pr.Point.Nodes, pr.Point.ThreadsPerNode,
-			pr.Point.Protocol, pr.Point.Override.Label, r.Seconds(), r.Check.Valid, pr.Cached,
-			r.Messages, r.Bytes, r.Stats.LocalityChecks, r.Stats.PageFaults,
-			r.Stats.MprotectCalls, r.Stats.PageFetches)
-		if err != nil {
+		if _, err := fmt.Fprintln(w, CSVRow(pr)); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/harness"
 )
@@ -99,6 +100,63 @@ func (c *Cache) Put(p Point, r harness.Result) error {
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
 	return nil
+}
+
+// CachedPoint pairs a cached grid point with its stored result — one
+// entry of the cache's query interface.
+type CachedPoint struct {
+	Point  Point          `json:"point"`
+	Result harness.Result `json:"result"`
+}
+
+// Entries scans the cache and returns every valid entry, sorted by the
+// grid's natural column order (app, cluster, protocol, nodes, threads
+// per node, override fingerprint). Stale or malformed entries are
+// skipped, exactly as Get treats them. This is the query surface behind
+// the experiment server's GET /v1/results: everything ever computed
+// under this cache root is visible without re-running anything.
+func (c *Cache) Entries() ([]CachedPoint, error) {
+	var out []CachedPoint
+	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil // racing eviction or unreadable entry: skip
+		}
+		var e cacheEntry
+		if json.Unmarshal(data, &e) != nil || e.Version != cacheKeyVersion {
+			return nil
+		}
+		out = append(out, CachedPoint{Point: e.Point, Result: e.Result})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: scanning cache: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return pointLess(out[i].Point, out[j].Point) })
+	return out, nil
+}
+
+// pointLess orders points by the grid's column order.
+func pointLess(a, b Point) bool {
+	if a.App != b.App {
+		return a.App < b.App
+	}
+	if a.Cluster != b.Cluster {
+		return a.Cluster < b.Cluster
+	}
+	if a.Protocol != b.Protocol {
+		return a.Protocol < b.Protocol
+	}
+	if a.Nodes != b.Nodes {
+		return a.Nodes < b.Nodes
+	}
+	if a.ThreadsPerNode != b.ThreadsPerNode {
+		return a.ThreadsPerNode < b.ThreadsPerNode
+	}
+	return a.Override.Fingerprint() < b.Override.Fingerprint()
 }
 
 // Len reports the number of entries currently in the cache.

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -98,6 +99,55 @@ func TestCacheRejectsCorruptAndStaleEntries(t *testing.T) {
 	}
 	if _, ok := c.Get(p); ok {
 		t.Error("stale-version entry served")
+	}
+}
+
+func TestCacheEntries(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Entries(); err != nil || len(got) != 0 {
+		t.Fatalf("empty cache: entries %v, err %v", got, err)
+	}
+	// Insert out of natural order; Entries must come back sorted.
+	pts := []Point{
+		{App: "pi", Cluster: "sci", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1},
+		{App: "jacobi", Cluster: "sci", Protocol: "java_ic", Nodes: 2, ThreadsPerNode: 1, Repeats: 1},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_ic", Nodes: 8, ThreadsPerNode: 1, Repeats: 1},
+		{App: "jacobi", Cluster: "myrinet", Protocol: "java_ic", Nodes: 2, ThreadsPerNode: 1, Repeats: 1},
+	}
+	for _, p := range pts {
+		if err := c.Put(p, fakeResult(p, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A corrupt file must be skipped, not fail the scan.
+	bad := pts[0]
+	bad.Nodes = 99
+	if err := c.Put(bad, fakeResult(bad, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(bad.Key()), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := c.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("Entries returned %d points, want %d", len(got), len(pts))
+	}
+	wantOrder := []string{"jacobi/myrinet/2", "jacobi/myrinet/8", "jacobi/sci/2", "pi/sci/4"}
+	for i, e := range got {
+		key := e.Point.App + "/" + e.Point.Cluster + "/" + strconv.Itoa(e.Point.Nodes)
+		if key != wantOrder[i] {
+			t.Fatalf("entry %d is %s, want %s", i, key, wantOrder[i])
+		}
+		if !reflect.DeepEqual(e.Result, fakeResult(e.Point, 1)) {
+			t.Fatalf("entry %d result mutated", i)
+		}
 	}
 }
 

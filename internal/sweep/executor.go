@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/harness"
@@ -28,6 +30,17 @@ type Executor struct {
 	// OnPoint, when non-nil, is invoked serially as each point
 	// completes (from cache or from execution).
 	OnPoint func(done, total int, pr PointResult)
+	// OnStart, when non-nil, is invoked serially as a point's first
+	// repeat begins executing on a worker. Cache hits and points that
+	// fail before scheduling never fire it.
+	OnStart func(p Point)
+	// Cancel, when non-nil and closed, stops the executor from starting
+	// new points: running points drain to completion (and still land in
+	// the cache), unstarted points settle with an error satisfying
+	// errors.Is(err, harness.ErrCanceled) and count in Outcome.Canceled.
+	// Combined with a Cache this is the graceful-shutdown story: what
+	// drained is kept, what was canceled re-executes on resubmission.
+	Cancel <-chan struct{}
 }
 
 // PointResult pairs a grid point with its outcome.
@@ -40,6 +53,9 @@ type PointResult struct {
 	// configuration, failed validation on a repeated run, or an
 	// isolated panic).
 	Err error
+	// Elapsed is the host wall-clock time spent executing the point
+	// (summed over repeats). Zero for cache hits.
+	Elapsed time.Duration
 }
 
 // Outcome is the result of one sweep: per-point results in expansion
@@ -51,18 +67,26 @@ type Outcome struct {
 	Executed int
 	// CacheHits counts points served from the cache.
 	CacheHits int
-	// Failed counts points with a non-nil Err.
+	// Failed counts points with a non-nil Err other than cancellation.
 	Failed int
+	// Canceled counts points that never started because the executor's
+	// Cancel channel closed.
+	Canceled int
 }
 
 // Err summarizes point failures, or returns nil if every point
-// succeeded.
+// succeeded. Cancellation is reported only when nothing genuinely
+// failed.
 func (o *Outcome) Err() error {
 	if o.Failed == 0 {
+		if o.Canceled > 0 {
+			return fmt.Errorf("sweep: canceled with %d of %d points unrun: %w",
+				o.Canceled, len(o.Points), harness.ErrCanceled)
+		}
 		return nil
 	}
 	for _, pr := range o.Points {
-		if pr.Err != nil {
+		if pr.Err != nil && !errors.Is(pr.Err, harness.ErrCanceled) {
 			return fmt.Errorf("sweep: %d of %d points failed; first: %s: %w",
 				o.Failed, len(o.Points), pr.Point, pr.Err)
 		}
@@ -171,26 +195,45 @@ func (x *Executor) RunPoints(points []Point) (*Outcome, error) {
 	finalize := func(i int) {
 		pr := &out.Points[i]
 		pr.Result, pr.Err = mergeRepeats(reps[i])
+		if pr.Err == nil && x.Cache != nil {
+			if err := x.Cache.Put(points[i], pr.Result); err != nil {
+				pr.Err = err
+			}
+		}
+		// Counted only once the result is also durably stored: a failed
+		// cache write files the point under Failed, not both tallies.
 		if pr.Err == nil {
 			out.Executed++
-			if x.Cache != nil {
-				if err := x.Cache.Put(points[i], pr.Result); err != nil {
-					pr.Err = err
-				}
-			}
 		}
 		report(i)
 	}
-	harness.RunJobs(jobs, x.Workers, func(_ int, j int, jr harness.JobResult) {
-		i := refs[j].point
-		reps[i] = append(reps[i], jr)
-		if len(reps[i]) == cap(reps[i]) {
-			finalize(i)
-		}
+	started := make(map[int]bool, len(points))
+	harness.RunJobsHooked(jobs, x.Workers, harness.PoolHooks{
+		Cancel: x.Cancel,
+		OnStart: func(j int) {
+			i := refs[j].point
+			if !started[i] {
+				started[i] = true
+				if x.OnStart != nil {
+					x.OnStart(points[i])
+				}
+			}
+		},
+		OnDone: func(_ int, j int, jr harness.JobResult) {
+			i := refs[j].point
+			reps[i] = append(reps[i], jr)
+			out.Points[i].Elapsed += jr.Elapsed
+			if len(reps[i]) == cap(reps[i]) {
+				finalize(i)
+			}
+		},
 	})
 
 	for _, pr := range out.Points {
-		if pr.Err != nil {
+		switch {
+		case errors.Is(pr.Err, harness.ErrCanceled):
+			out.Canceled++
+		case pr.Err != nil:
 			out.Failed++
 		}
 	}

@@ -1,10 +1,13 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/apps"
@@ -286,6 +289,136 @@ func TestExecutorUnknownAppFailsPointNotSweep(t *testing.T) {
 	}
 	if out.Failed != 1 {
 		t.Errorf("Failed = %d", out.Failed)
+	}
+}
+
+// gateApp blocks in its kernel until released, for cancellation tests.
+type gateApp struct{ release <-chan struct{} }
+
+func (gateApp) Name() string { return "gate" }
+func (a gateApp) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
+	<-a.release
+	return apps.Check{Summary: "gate done", Valid: true}
+}
+
+// TestExecutorCancelDrains: closing Cancel lets running points finish
+// (and land in the cache) while unstarted points settle as canceled —
+// the server's graceful-shutdown contract.
+func TestExecutorCancelDrains(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	cancel := make(chan struct{})
+	started := make(chan Point, 8)
+	x := &Executor{
+		Workers: 2,
+		Cache:   cache,
+		NewApp: func(name string, paperScale bool) (apps.App, error) {
+			return gateApp{release: release}, nil
+		},
+		OnStart: func(p Point) { started <- p },
+		Cancel:  cancel,
+	}
+	spec := Spec{Apps: []string{"gate"}, Clusters: []string{"sci"}, Protocols: []string{"java_pf"}, Nodes: []int{1, 2, 3, 4}}
+	outc := make(chan *Outcome, 1)
+	go func() {
+		out, err := x.Run(spec)
+		if err != nil {
+			t.Error(err)
+		}
+		outc <- out
+	}()
+
+	// Both workers pick up a point; cancel while they are inside the
+	// kernel, then release them.
+	<-started
+	<-started
+	close(cancel)
+	close(release)
+	out := <-outc
+
+	if out.Executed != 2 || out.Canceled != 2 || out.Failed != 0 {
+		t.Fatalf("executed %d, canceled %d, failed %d; want 2, 2, 0", out.Executed, out.Canceled, out.Failed)
+	}
+	ran := 0
+	for _, pr := range out.Points {
+		switch {
+		case pr.Err == nil:
+			ran++
+			if !pr.Result.Check.Valid || pr.Elapsed <= 0 {
+				t.Errorf("%s: drained point invalid or unmeasured: %+v", pr.Point, pr)
+			}
+		case !errors.Is(pr.Err, harness.ErrCanceled):
+			t.Errorf("%s: err = %v", pr.Point, pr.Err)
+		}
+	}
+	if ran != 2 {
+		t.Fatalf("%d points ran, want 2", ran)
+	}
+	if err := out.Err(); err == nil || !errors.Is(err, harness.ErrCanceled) {
+		t.Fatalf("Outcome.Err = %v, want canceled", err)
+	}
+	// What drained is cached: resubmitting executes only the canceled
+	// remainder.
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries after drain, want 2", cache.Len())
+	}
+}
+
+// TestExecutorCachePutFailureCountsOnce: a point whose simulation
+// succeeds but whose cache write fails is Failed, not Executed — the
+// tallies must stay disjoint.
+func TestExecutorCachePutFailureCountsOnce(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []Point{{App: "jacobi", Cluster: "sci", Protocol: "java_pf", Nodes: 1, ThreadsPerNode: 1, Repeats: 1}}
+	// Occupy the entry's shard directory with a regular file so Put's
+	// MkdirAll fails (works even running as root, unlike permission bits).
+	shard := filepath.Join(dir, points[0].Key()[:2])
+	if err := os.WriteFile(shard, []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := (&Executor{Workers: 1, Cache: cache, NewApp: tinyApps}).RunPoints(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Executed != 0 || out.Failed != 1 || out.CacheHits != 0 {
+		t.Fatalf("executed %d, failed %d, cached %d; want 0, 1, 0", out.Executed, out.Failed, out.CacheHits)
+	}
+	if out.Points[0].Err == nil || !strings.Contains(out.Points[0].Err.Error(), "cache put") {
+		t.Fatalf("point err = %v, want cache put failure", out.Points[0].Err)
+	}
+}
+
+func TestExecutorOnStartAndElapsed(t *testing.T) {
+	var mu sync.Mutex
+	var startedPts []Point
+	x := &Executor{Workers: 2, NewApp: tinyApps, OnStart: func(p Point) {
+		mu.Lock()
+		startedPts = append(startedPts, p)
+		mu.Unlock()
+	}}
+	spec := Spec{Apps: []string{"jacobi"}, Clusters: []string{"sci"}, Protocols: []string{"java_pf"}, Nodes: []int{1, 2}, Repeats: 2}
+	out, err := x.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// OnStart fires once per point, not once per repeat.
+	if len(startedPts) != 2 {
+		t.Fatalf("OnStart fired %d times for 2 points: %v", len(startedPts), startedPts)
+	}
+	for _, pr := range out.Points {
+		if pr.Elapsed <= 0 {
+			t.Errorf("%s: elapsed not accumulated", pr.Point)
+		}
 	}
 }
 

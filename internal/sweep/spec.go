@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/model"
@@ -240,6 +241,20 @@ func (p Point) Config() (harness.RunConfig, error) {
 func (s Spec) Expand() ([]Point, error) {
 	return s.expand(func(name string) error {
 		_, err := NewApp(name, false)
+		return err
+	})
+}
+
+// ExpandFor is Expand with app names validated against a custom factory;
+// nil falls back to the built-in registry. This is the experiment
+// server's submission-validation path, which must agree with the NewApp
+// override its executors run with.
+func (s Spec) ExpandFor(newApp func(name string, paperScale bool) (apps.App, error)) ([]Point, error) {
+	if newApp == nil {
+		newApp = NewApp
+	}
+	return s.expand(func(name string) error {
+		_, err := newApp(name, s.PaperScale)
 		return err
 	})
 }

@@ -1,0 +1,51 @@
+// Package version derives a build identity string from the module info
+// the Go toolchain embeds, so every CLI and the server answer -version
+// without any linker-flag ceremony.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// String reports the binary's build identity: module path and version,
+// VCS revision and commit time when the build captured them, and a
+// +dirty marker for builds from a modified tree.
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "hyperion (no build info)"
+	}
+	var b strings.Builder
+	b.WriteString(bi.Main.Path)
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		b.WriteString(" " + bi.Main.Version)
+	} else {
+		b.WriteString(" devel")
+	}
+	var rev, at, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		b.WriteString(" " + rev)
+		if modified == "true" {
+			b.WriteString("+dirty")
+		}
+	}
+	if at != "" {
+		b.WriteString(" (" + at + ")")
+	}
+	b.WriteString(" " + bi.GoVersion)
+	return b.String()
+}

@@ -1,0 +1,16 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringHasModuleAndGoVersion(t *testing.T) {
+	s := String()
+	if !strings.Contains(s, "repro") {
+		t.Errorf("version %q lacks module path", s)
+	}
+	if !strings.Contains(s, "go1.") {
+		t.Errorf("version %q lacks Go version", s)
+	}
+}
