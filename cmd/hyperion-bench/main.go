@@ -47,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 	appName := fs.String("app", "jacobi", "benchmark for ablation modes: "+strings.Join(hyperion.AppNames(), ", "))
 	clusterName := fs.String("cluster", "myrinet", "platform for ablation modes: myrinet, sci, tcp")
 	nodes := fs.Int("nodes", 4, "node count for ablation modes")
+	protosF := fs.String("protocols", "all", "protocols for the protocols mode: comma-separated names or 'all' (every registered protocol, java_hlrc included)")
 	paperScale := fs.Bool("paperscale", false, "use the paper's full problem sizes")
 	workers := fs.Int("workers", 0, "worker goroutines for the sweeps (default NumCPU)")
 	showVersion := fs.Bool("version", false, "print build version and exit")
@@ -83,7 +84,14 @@ func run(args []string, stdout io.Writer) error {
 	case "grid":
 		return runGrid(stdout, *paperScale, *workers)
 	case "protocols":
-		return runProtocols(stdout, *nodes, *paperScale, *workers)
+		protos, err := harness.ParseProtocols(*protosF)
+		if err != nil {
+			return err
+		}
+		if protos == nil {
+			protos = hyperion.Protocols()
+		}
+		return runProtocols(stdout, protos, *nodes, *paperScale, *workers)
 	case "cachecap":
 		return runCacheCap(stdout, *appName, *clusterName, *nodes, *paperScale, *workers)
 	case "ablate-check":
@@ -137,10 +145,10 @@ func runSpec(spec sweep.Spec, workers int) (*sweep.Outcome, error) {
 	return out, nil
 }
 
-// runProtocols compares all registered protocols (including the java_up
-// extension) across the five benchmarks at a fixed node count.
-func runProtocols(w io.Writer, nodes int, paperScale bool, workers int) error {
-	protos := hyperion.Protocols()
+// runProtocols compares the selected protocols (by default all
+// registered ones, the java_up and java_hlrc extensions included)
+// across the five benchmarks at a fixed node count.
+func runProtocols(w io.Writer, protos []string, nodes int, paperScale bool, workers int) error {
 	out, err := runSpec(sweep.Spec{
 		Apps:       hyperion.AppNames(),
 		Clusters:   []string{"myrinet"},

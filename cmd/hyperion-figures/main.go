@@ -33,6 +33,7 @@ func run(args []string, stdout io.Writer) error {
 	paper := fs.Bool("paperscale", false, "use the paper's full problem sizes (much slower)")
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII charts")
 	report := fs.Bool("report", false, "check the §4.3 claims against the regenerated figures")
+	protosF := fs.String("protocols", "", "comma-separated protocol series, or 'all' for every registered protocol (default: the paper's java_ic,java_pf)")
 	width := fs.Int("width", 72, "chart width")
 	height := fs.Int("height", 20, "chart height")
 	showVersion := fs.Bool("version", false, "print build version and exit")
@@ -50,20 +51,25 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
 	}
 
+	protocols, err := harness.ParseProtocols(*protosF)
+	if err != nil {
+		return err
+	}
+
 	var figs []harness.Figure
 	if *figID != 0 {
 		spec, err := harness.SpecByID(*figID)
 		if err != nil {
 			return err
 		}
-		f, err := harness.BuildSpec(spec, *paper)
+		f, err := harness.BuildSpecProtocols(spec, *paper, protocols)
 		if err != nil {
 			return err
 		}
 		figs = []harness.Figure{f}
 	} else {
 		var err error
-		figs, err = harness.BuildAll(*paper)
+		figs, err = harness.BuildAllProtocols(*paper, protocols)
 		if err != nil {
 			return err
 		}

@@ -5,9 +5,11 @@
 //
 // A System is one simulated cluster execution: a set of nodes with a
 // modeled interconnect, a home-based page DSM implementing the Java
-// Memory Model, one of the paper's two access-detection protocols
-// (java_ic in-line checks or java_pf page faults), and a threads
-// subsystem with a round-robin load balancer. Programs written against
+// Memory Model, one of the registered access-detection protocols
+// (the paper's java_ic in-line checks and java_pf page faults, or the
+// java_up update-based and java_hlrc home-based lazy-diffing
+// extensions), and a threads subsystem with a round-robin load
+// balancer. Programs written against
 // this API look like threaded Java programs — they spawn threads, share
 // typed arrays, and synchronize with monitors and barriers — and run with
 // real data and deterministic virtual-time accounting.
@@ -101,8 +103,9 @@ type Options struct {
 	Cluster ClusterConfig
 	// Nodes is the number of cluster nodes to use (1..Cluster.MaxNodes).
 	Nodes int
-	// Protocol is "java_ic" or "java_pf" (default "java_pf", the
-	// paper's recommendation).
+	// Protocol is any registered protocol name — see Protocols():
+	// "java_ic", "java_pf", "java_up" or "java_hlrc" (default
+	// "java_pf", the paper's recommendation).
 	Protocol string
 	// Costs overrides the DSM engine cost parameters (nil = defaults).
 	Costs *DSMCosts

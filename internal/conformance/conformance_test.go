@@ -1,0 +1,101 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Every registered protocol must be observationally equivalent on every
+// workload of the suite. The protocol axis is the live registry, so a
+// protocol registered tomorrow is covered here without editing this
+// file.
+func TestProtocolsAreObservationallyEquivalent(t *testing.T) {
+	protos := core.ProtocolNames()
+	if len(protos) < 4 {
+		t.Fatalf("registry has %d protocols (%v), want at least the four shipped ones", len(protos), protos)
+	}
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			base, err := Execute(w, protos[0])
+			if err != nil {
+				t.Fatalf("%s: %v", protos[0], err)
+			}
+			if !base.Valid {
+				t.Fatalf("%s failed its own validation: %s", protos[0], base.Summary)
+			}
+			for _, p := range protos[1:] {
+				obs, err := Execute(w, p)
+				if err != nil {
+					t.Fatalf("%s: %v", p, err)
+				}
+				if diffs := Diff(w, base, obs); len(diffs) > 0 {
+					for _, d := range diffs {
+						t.Errorf("%s vs %s: %s", base.Protocol, obs.Protocol, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// A protocol must also be equivalent to itself across repeated runs:
+// if a workload is not reproducible under one protocol, its cross-
+// protocol comparisons are meaningless. Guards the suite against
+// accidentally introducing scheduler-dependent workloads.
+func TestWorkloadsAreReproducible(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			a, err := Execute(w, "java_pf")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Execute(w, "java_pf")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diffs := Diff(w, a, b); len(diffs) > 0 {
+				for _, d := range diffs {
+					t.Errorf("run-to-run: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// The suite must actually have teeth: a deliberately perturbed
+// observation may not pass Diff.
+func TestDiffDetectsMismatches(t *testing.T) {
+	w := Workloads()[0]
+	for _, w2 := range Workloads() {
+		if w2.Name == "pi-slots" {
+			w = w2
+		}
+	}
+	a, err := Execute(w, "java_ic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(w, "java_pf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one heap byte and one read.
+	for p, img := range b.Heap {
+		if len(img) > 0 {
+			img[0] ^= 0xff
+			b.Heap[p] = img
+			break
+		}
+	}
+	if len(b.Reads) > 0 && len(b.Reads[0]) > 0 {
+		b.Reads[0][0] += 1
+	}
+	if diffs := Diff(w, a, b); len(diffs) == 0 {
+		t.Fatal("Diff reported no mismatch on corrupted observation")
+	}
+}

@@ -23,6 +23,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/cluster"
@@ -250,14 +251,41 @@ func (e *Engine) InvalidateCache(ctx *Ctx) int {
 // consistency requires the main memory to be up to date before the lock
 // is released.
 func (e *Engine) UpdateMainMemory(ctx *Ctx) {
+	e.flushHomes(ctx, false)
+}
+
+// FlushBatched is the home-based lazy-diffing release flush used by
+// java_hlrc: the same per-home aggregation as UpdateMainMemory, but
+// charged under the batched-diff cost model — a fixed per-home-message
+// assembly cost (BatchSetupCycles) plus a cheaper per-byte cost
+// (BatchPerByteCycles), because the twin-free write log already is the
+// diff and needs no per-record comparison work.
+func (e *Engine) FlushBatched(ctx *Ctx) {
+	e.flushHomes(ctx, true)
+}
+
+// flushHomes drains the node's write log and ships one aggregated
+// svcApplyDiff message per home node, in ascending home order so runs
+// are deterministic.
+func (e *Engine) flushHomes(ctx *Ctx, batched bool) {
 	groups := e.nodes[ctx.node].log.Take(e.space.Home)
 	if len(groups) == 0 {
 		return
 	}
+	homes := make([]int, 0, len(groups))
+	for h := range groups {
+		homes = append(homes, h)
+	}
+	sort.Ints(homes)
 	mach := e.Machine()
-	for home, spans := range groups {
-		msg := encodeDiff(spans)
-		ctx.clock.Advance(vtime.Duration(float64(len(msg)) * e.costs.DiffPerByteCycles * float64(mach.Cycle())))
+	for _, home := range homes {
+		msg := encodeDiff(groups[home])
+		if batched {
+			ctx.clock.Advance(mach.Cycles(e.costs.BatchSetupCycles))
+			ctx.clock.Advance(vtime.Duration(float64(len(msg)) * e.costs.BatchPerByteCycles * float64(mach.Cycle())))
+		} else {
+			ctx.clock.Advance(vtime.Duration(float64(len(msg)) * e.costs.DiffPerByteCycles * float64(mach.Cycle())))
+		}
 		e.cl.Invoke(ctx.clock, ctx.node, home, svcApplyDiff, msg)
 		e.cnt.AddDiffMessage(int64(len(msg)))
 		e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFlush, int64(len(msg)))
@@ -302,10 +330,12 @@ func (e *Engine) RefreshCache(ctx *Ctx) int {
 	return len(cached)
 }
 
-// Release implements the memory semantics of monitor exit: transmit all
-// local modifications to the central memory.
+// Release implements the memory semantics of monitor exit by delegating
+// to the bound protocol: the eager protocols transmit all local
+// modifications to the central memory immediately; java_hlrc ships them
+// as aggregated batched diffs.
 func (e *Engine) Release(ctx *Ctx) {
-	e.UpdateMainMemory(ctx)
+	e.proto.Release(ctx)
 }
 
 // --- RPC handlers (run at the page's home node) --------------------------
@@ -328,6 +358,41 @@ func (e *Engine) handleApplyDiff(call *cluster.Call) []byte {
 		e.homeFrame(s.page).Write(s.off, s.data)
 	}
 	return nil
+}
+
+// pageFaultAccess is the shared slow-path access of the page-fault
+// protocols (java_pf, java_up, java_hlrc): mapped pages resolve for
+// free; a miss traps (fault cost), fetches the page from home, and pays
+// one mprotect call to map it READ/WRITE.
+func (e *Engine) pageFaultAccess(ctx *Ctx, pg pages.PageID, isHome bool) *pages.Frame {
+	if isHome {
+		return e.homeFrame(pg)
+	}
+	if f, _ := e.nodes[ctx.node].cache.Lookup(pg); f != nil && f.Access() == pages.ReadWrite {
+		e.cnt.AddCacheHits(1)
+		return f
+	}
+	m := e.Machine()
+	ctx.clock.Advance(m.PageFault)
+	e.cnt.AddPageFaults(1)
+	e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFault, int64(pg))
+	f := e.LoadIntoCache(ctx, pg, pages.ReadWrite)
+	ctx.clock.Advance(m.Mprotect)
+	e.cnt.AddMprotectCalls(1)
+	return f
+}
+
+// HomeSnapshot returns a copy of every reference (home) page image in
+// the system, keyed by page id. This is the "main memory" observable the
+// conformance suite compares across protocols: after a fully
+// synchronized quiescent point, every protocol must have produced
+// byte-identical reference copies.
+func (e *Engine) HomeSnapshot() map[pages.PageID][]byte {
+	out := make(map[pages.PageID][]byte)
+	for _, nm := range e.nodes {
+		nm.home.ForEach(func(f *pages.Frame) { out[f.Page()] = f.Snapshot() })
+	}
+	return out
 }
 
 // CacheLen reports the number of cached pages on a node (for tests and

@@ -27,7 +27,7 @@ func newTestEngine(t *testing.T, n int, protoName string) *Engine {
 
 func TestProtocolRegistry(t *testing.T) {
 	names := ProtocolNames()
-	want := map[string]bool{"java_ic": false, "java_pf": false}
+	want := map[string]bool{"java_ic": false, "java_pf": false, "java_up": false, "java_hlrc": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pages"
+)
+
+// addrOf converts a byte offset to an address delta.
+func addrOf(off int) pages.Addr { return pages.Addr(off) }
+
+func TestHLRCReleaseShipsOneAggregatedMessagePerHome(t *testing.T) {
+	e := newTestEngine(t, 3, "java_hlrc")
+	home1 := e.NewCtx(1, 0)
+	a1, _ := e.Alloc(home1, 1, 256, 8)
+	home2 := e.NewCtx(2, 0)
+	a2, _ := e.Alloc(home2, 2, 256, 8)
+
+	ctx := e.NewCtx(0, 0)
+	// Strided writes to two remote pages: many records, one message per
+	// home after coalescing.
+	for i := 0; i < 8; i++ {
+		ctx.PutI64(a1+addrOf(i*16), int64(i))
+		ctx.PutI64(a2+addrOf(i*16), int64(i))
+	}
+	e.Release(ctx)
+
+	s := e.Cluster().Counters().Snapshot()
+	if s.DiffMessages != 2 {
+		t.Fatalf("diff messages = %d, want 2 (one aggregated message per home)", s.DiffMessages)
+	}
+	if rec, _ := e.PendingWrites(0); rec != 0 {
+		t.Fatalf("pending records after release = %d", rec)
+	}
+	// The strided writes became 8 records per page; each page's image
+	// must hold every value at home.
+	for i := 0; i < 8; i++ {
+		if got := home1.GetI64(a1 + addrOf(i*16)); got != int64(i) {
+			t.Fatalf("home1 word %d = %d", i, got)
+		}
+		if got := home2.GetI64(a2 + addrOf(i*16)); got != int64(i) {
+			t.Fatalf("home2 word %d = %d", i, got)
+		}
+	}
+}
+
+func TestHLRCAcquireDoesNotLoseOwnPendingWrites(t *testing.T) {
+	e := newTestEngine(t, 2, "java_hlrc")
+	home := e.NewCtx(1, 0)
+	addr, _ := e.Alloc(home, 1, 64, 8)
+
+	ctx := e.NewCtx(0, 0)
+	ctx.PutI64(addr, 77) // logged, not yet released
+	e.Acquire(ctx)       // invalidates the cache; the flush must come first
+	if got := ctx.GetI64(addr); got != 77 {
+		t.Fatalf("read-after-acquire = %d, want 77 (own write lost)", got)
+	}
+}
+
+func TestHLRCVolatileStoreIsReleaseBoundary(t *testing.T) {
+	e := newTestEngine(t, 2, "java_hlrc")
+	home := e.NewCtx(1, 0)
+	data, _ := e.Alloc(home, 1, 64, 8)
+	flag, _ := e.Alloc(home, 1, 8, 8)
+
+	ctx := e.NewCtx(0, 0)
+	ctx.PutI64(data, 42)
+	if rec, _ := e.PendingWrites(0); rec == 0 {
+		t.Fatal("write not logged")
+	}
+	e.WriteVolatile64(ctx, flag, 1)
+	if rec, _ := e.PendingWrites(0); rec != 0 {
+		t.Fatalf("pending records after volatile store = %d, want 0 (store is a release boundary)", rec)
+	}
+	// The data must be home without any monitor operation having run.
+	if got := home.GetI64(data); got != 42 {
+		t.Fatalf("home sees %d after volatile store, want 42", got)
+	}
+}
+
+// The eager protocols do not treat volatile stores as release
+// boundaries (old-JMM semantics): the log stays pending.
+func TestEagerProtocolsKeepLogAcrossVolatileStore(t *testing.T) {
+	for _, proto := range []string{"java_ic", "java_pf", "java_up"} {
+		e := newTestEngine(t, 2, proto)
+		home := e.NewCtx(1, 0)
+		data, _ := e.Alloc(home, 1, 64, 8)
+		flag, _ := e.Alloc(home, 1, 8, 8)
+		ctx := e.NewCtx(0, 0)
+		ctx.PutI64(data, 42)
+		e.WriteVolatile64(ctx, flag, 1)
+		if rec, _ := e.PendingWrites(0); rec != 1 {
+			t.Fatalf("%s: pending records after volatile store = %d, want 1", proto, rec)
+		}
+	}
+}
+
+func TestHLRCFlushChargesBatchedCostModel(t *testing.T) {
+	e := newTestEngine(t, 2, "java_hlrc")
+	home := e.NewCtx(1, 0)
+	addr, _ := e.Alloc(home, 1, 256, 8)
+
+	ctx := e.NewCtx(0, 0)
+	ctx.PutI64(addr, 1)
+	t0 := ctx.Clock().Now()
+	e.Release(ctx)
+	elapsed := ctx.Clock().Now().Sub(t0)
+	if min := e.Machine().Cycles(e.Costs().BatchSetupCycles); elapsed < min {
+		t.Fatalf("batched flush charged %v, want >= setup cost %v", elapsed, min)
+	}
+}

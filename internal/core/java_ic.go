@@ -59,6 +59,10 @@ func (p *JavaIC) Access(ctx *Ctx, pg pages.PageID, isHome bool) *pages.Frame {
 // entries).
 func (p *JavaIC) Acquire(ctx *Ctx) { p.eng.FlushAndInvalidate(ctx) }
 
+// Release implements Protocol: eager shipment of the node's pending
+// modifications under the standard diff cost model.
+func (p *JavaIC) Release(ctx *Ctx) { p.eng.UpdateMainMemory(ctx) }
+
 // OnInvalidate implements Protocol: clearing n presence entries costs a
 // few cycles each and involves no system calls.
 func (p *JavaIC) OnInvalidate(ctx *Ctx, n int) {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/pages"
-	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -33,30 +32,19 @@ func (p *JavaPF) Bind(e *Engine) { p.eng = e }
 // the access detection for free — the whole point of the protocol.
 func (p *JavaPF) FastCost() vtime.Duration { return 0 }
 
-// Access implements Protocol.
+// Access implements Protocol: the shared page-fault slow path (trap,
+// fetch the page from home, mprotect it READ/WRITE).
 func (p *JavaPF) Access(ctx *Ctx, pg pages.PageID, isHome bool) *pages.Frame {
-	if isHome {
-		return p.eng.homeFrame(pg)
-	}
-	if f, _ := p.eng.nodes[ctx.node].cache.Lookup(pg); f != nil && f.Access() == pages.ReadWrite {
-		p.eng.cnt.AddCacheHits(1)
-		return f
-	}
-	// Page fault: trap, fetch the page from home, mprotect it
-	// READ/WRITE.
-	m := p.eng.Machine()
-	ctx.clock.Advance(m.PageFault)
-	p.eng.cnt.AddPageFaults(1)
-	p.eng.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFault, int64(pg))
-	f := p.eng.LoadIntoCache(ctx, pg, pages.ReadWrite)
-	ctx.clock.Advance(m.Mprotect)
-	p.eng.cnt.AddMprotectCalls(1)
-	return f
+	return p.eng.pageFaultAccess(ctx, pg, isHome)
 }
 
 // Acquire implements Protocol: flush, then invalidate; the dropped pages
 // are re-protected by OnInvalidate.
 func (p *JavaPF) Acquire(ctx *Ctx) { p.eng.FlushAndInvalidate(ctx) }
+
+// Release implements Protocol: eager shipment of the node's pending
+// modifications under the standard diff cost model.
+func (p *JavaPF) Release(ctx *Ctx) { p.eng.UpdateMainMemory(ctx) }
 
 // OnInvalidate implements Protocol: re-protecting the n dropped pages on
 // monitor entry costs one mprotect call per page, exactly the overhead

@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/pages"
-	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -34,21 +33,7 @@ func (p *JavaUP) FastCost() vtime.Duration { return 0 }
 
 // Access implements Protocol: identical to java_pf's fault path.
 func (p *JavaUP) Access(ctx *Ctx, pg pages.PageID, isHome bool) *pages.Frame {
-	if isHome {
-		return p.eng.homeFrame(pg)
-	}
-	if f, _ := p.eng.nodes[ctx.node].cache.Lookup(pg); f != nil && f.Access() == pages.ReadWrite {
-		p.eng.cnt.AddCacheHits(1)
-		return f
-	}
-	m := p.eng.Machine()
-	ctx.clock.Advance(m.PageFault)
-	p.eng.cnt.AddPageFaults(1)
-	p.eng.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFault, int64(pg))
-	f := p.eng.LoadIntoCache(ctx, pg, pages.ReadWrite)
-	ctx.clock.Advance(m.Mprotect)
-	p.eng.cnt.AddMprotectCalls(1)
-	return f
+	return p.eng.pageFaultAccess(ctx, pg, isHome)
 }
 
 // Acquire implements Protocol: flush pending modifications, then refresh
@@ -58,6 +43,10 @@ func (p *JavaUP) Acquire(ctx *Ctx) {
 	p.eng.UpdateMainMemory(ctx)
 	p.eng.RefreshCache(ctx)
 }
+
+// Release implements Protocol: eager shipment of the node's pending
+// modifications under the standard diff cost model.
+func (p *JavaUP) Release(ctx *Ctx) { p.eng.UpdateMainMemory(ctx) }
 
 // OnInvalidate implements Protocol: only capacity evictions invalidate
 // under the update protocol; unmapping the victim costs one mprotect.

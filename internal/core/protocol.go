@@ -38,6 +38,12 @@ type Protocol interface {
 	// pages in place.
 	Acquire(ctx *Ctx)
 
+	// Release performs the protocol's monitor-exit memory actions:
+	// transmitting the node's pending modifications to main memory. The
+	// eager protocols ship them under the standard diff cost model;
+	// java_hlrc ships them as aggregated batched diffs.
+	Release(ctx *Ctx)
+
 	// OnInvalidate charges the protocol's cost for an invalidation that
 	// dropped n cache entries (re-protection for java_pf, table
 	// clearing for java_ic).
@@ -46,6 +52,17 @@ type Protocol interface {
 	// OnCtxClose folds a closing context's local statistics into the
 	// global counters.
 	OnCtxClose(ctx *Ctx)
+}
+
+// volatileReleaser is implemented by protocols for which a volatile
+// store is a release boundary: the engine invokes the hook before the
+// store becomes visible at its home. The old-JMM volatile semantics the
+// paper targets do not require this — java_ic/java_pf/java_up ship
+// nothing at volatile stores — but a lazy-diffing protocol must bound
+// how long its diffs linger, and monitor exits plus volatile stores are
+// its flush boundaries.
+type volatileReleaser interface {
+	OnVolatileWrite(ctx *Ctx)
 }
 
 // protocolRegistry maps names to constructors so tools can select a
@@ -92,4 +109,5 @@ func init() {
 	RegisterProtocol("java_ic", func() Protocol { return &JavaIC{} })
 	RegisterProtocol("java_pf", func() Protocol { return &JavaPF{} })
 	RegisterProtocol("java_up", func() Protocol { return &JavaUP{} })
+	RegisterProtocol("java_hlrc", func() Protocol { return &JavaHLRC{} })
 }

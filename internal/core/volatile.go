@@ -47,8 +47,14 @@ func (e *Engine) ReadVolatile64(ctx *Ctx, a pages.Addr) uint64 {
 
 // WriteVolatile64 writes an 8-byte field directly to main memory. The
 // write is synchronous: it has reached the home when the call returns,
-// like a volatile store followed by the implicit memory barrier.
+// like a volatile store followed by the implicit memory barrier. For
+// protocols whose diff shipping is lazy (java_hlrc), the store is a
+// release boundary: pending diffs are flushed first, so they are home
+// before the store becomes visible.
 func (e *Engine) WriteVolatile64(ctx *Ctx, a pages.Addr, v uint64) {
+	if r, ok := e.proto.(volatileReleaser); ok {
+		r.OnVolatileWrite(ctx)
+	}
 	p := e.space.PageOf(a)
 	off := e.space.Offset(a)
 	if off+8 > e.space.PageSize() {

@@ -19,48 +19,128 @@ type span struct {
 	data []byte
 }
 
+// rec is the in-log form of one modification record: n bytes at offset
+// off within its page, with the payload at arena[start:start+n] of the
+// owning WriteLog. Keeping the payload in a shared arena makes Record
+// allocation-free in the steady state — the hottest operation of the
+// whole write path, executed once per remote put.
+type rec struct {
+	off   int32
+	n     int32
+	start int // payload offset in the log's arena
+}
+
+// pageBuf is the per-page append-only record buffer. Buffers are reset
+// by epoch, not by clearing: Take bumps the log epoch, and a buffer
+// whose epoch lags is treated as empty and rewound on its next touch.
+// A flush therefore costs O(pages touched this epoch), never O(pages
+// ever touched).
+type pageBuf struct {
+	page  pages.PageID
+	epoch uint64
+	recs  []rec
+}
+
 // WriteLog accumulates the modifications made on one node to pages homed
 // elsewhere. It is node-level (not thread-level) because Hyperion caches
 // are per node: any thread's monitor operation flushes the node's pending
 // modifications. Safe for concurrent use.
+//
+// Layout: records live in per-page append-only buffers (so a release
+// boundary can ship them grouped and sorted with almost no work), and
+// payload bytes live in one shared append-only arena whose ownership
+// transfers to the taken spans at each flush.
 type WriteLog struct {
-	mu    sync.Mutex
-	spans []span
-	bytes int
+	mu      sync.Mutex
+	pages   map[pages.PageID]*pageBuf
+	order   []*pageBuf // buffers touched this epoch, in first-touch order
+	arena   []byte     // payload bytes of the current epoch
+	epoch   uint64
+	last    *pageBuf // most recently written buffer (fast path)
+	records int
+	bytes   int
 }
 
 // Record logs a write of data at off within page p. Consecutive writes
 // extending the previous record (the common pattern of a loop filling an
-// array) are coalesced in place.
+// array) are coalesced in place. The common case — another write to the
+// same page as the last one — touches no map and allocates nothing.
 func (w *WriteLog) Record(p pages.PageID, off int, data []byte) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if n := len(w.spans); n > 0 {
-		last := &w.spans[n-1]
-		if last.page == p && last.off+len(last.data) == off {
-			last.data = append(last.data, data...)
+	pb := w.last
+	if pb == nil || pb.page != p {
+		pb = w.buf(p)
+		w.last = pb
+	}
+	if n := len(pb.recs); n > 0 {
+		lr := &pb.recs[n-1]
+		// Extend in place only when the new bytes are contiguous both
+		// in the page (off continues the record) and in the arena (no
+		// other page's payload landed in between).
+		if int(lr.off)+int(lr.n) == off && lr.start+int(lr.n) == len(w.arena) {
+			w.arena = append(w.arena, data...)
+			lr.n += int32(len(data))
 			w.bytes += len(data)
 			return
 		}
 	}
-	w.spans = append(w.spans, span{page: p, off: off, data: append([]byte(nil), data...)})
+	pb.recs = append(pb.recs, rec{off: int32(off), n: int32(len(data)), start: len(w.arena)})
+	w.arena = append(w.arena, data...)
+	w.records++
 	w.bytes += len(data)
 }
 
+// buf returns p's record buffer for the current epoch, creating it on
+// first ever touch and rewinding it lazily when it carries records of a
+// flushed epoch.
+func (w *WriteLog) buf(p pages.PageID) *pageBuf {
+	if w.pages == nil {
+		w.pages = make(map[pages.PageID]*pageBuf)
+	}
+	pb := w.pages[p]
+	if pb == nil {
+		pb = &pageBuf{page: p, epoch: w.epoch}
+		w.pages[p] = pb
+		w.order = append(w.order, pb)
+		return pb
+	}
+	if pb.epoch != w.epoch {
+		pb.epoch = w.epoch
+		pb.recs = pb.recs[:0]
+		w.order = append(w.order, pb)
+	}
+	return pb
+}
+
 // Take removes and returns all pending records, grouped by page home
-// node. The homeOf function maps a page to its home.
+// node. The homeOf function maps a page to its home. Within a page,
+// spans keep write order; the returned spans own the payload bytes (the
+// log starts a fresh arena), so they stay valid while new writes are
+// recorded concurrently.
 func (w *WriteLog) Take(homeOf func(pages.PageID) int) map[int][]span {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if len(w.spans) == 0 {
+	if w.records == 0 {
 		return nil
 	}
 	out := make(map[int][]span)
-	for _, s := range w.spans {
-		h := homeOf(s.page)
-		out[h] = append(out[h], s)
+	arena := w.arena
+	for _, pb := range w.order {
+		h := homeOf(pb.page)
+		for _, r := range pb.recs {
+			end := r.start + int(r.n)
+			out[h] = append(out[h], span{page: pb.page, off: int(r.off), data: arena[r.start:end:end]})
+		}
 	}
-	w.spans = nil
+	// Epoch-based reset: bump the epoch (stale page buffers rewind
+	// lazily on their next touch) and hand the arena's ownership to the
+	// returned spans.
+	w.epoch++
+	w.arena = nil
+	w.order = w.order[:0]
+	w.last = nil
+	w.records = 0
 	w.bytes = 0
 	return out
 }
@@ -69,36 +149,149 @@ func (w *WriteLog) Take(homeOf func(pages.PageID) int) map[int][]span {
 func (w *WriteLog) Pending() (records, bytes int) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return len(w.spans), w.bytes
+	return w.records, w.bytes
 }
 
 // encodeDiff serializes a batch of spans into one applyDiff message:
 //
 //	u32 count | count x ( u64 page | u32 off | u32 len | len bytes )
 //
-// Spans are sorted (page, offset) so encoding is deterministic.
+// Input spans must be in write order within each page (what Take
+// produces). Per page, spans are resolved to disjoint offset-sorted
+// records — overlapping writes are replayed in write order first, so a
+// later write always wins regardless of emission order — and
+// exactly-adjacent records are coalesced into one wire record: strided
+// writes that became contiguous once sorted ship one header instead of
+// many. The output is deterministic.
 func encodeDiff(spans []span) []byte {
-	sort.SliceStable(spans, func(i, j int) bool {
-		if spans[i].page != spans[j].page {
-			return spans[i].page < spans[j].page
+	// Stable-sort by page only: one page's spans become contiguous but
+	// stay in write order, which flattenPageSpans relies on.
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].page < spans[j].page })
+	// Flatten lazily: allocate a rewritten span list only once some
+	// page actually needed sorting or overlap resolution.
+	var flat []span
+	changed := false
+	for i := 0; i < len(spans); {
+		j := i + 1
+		for j < len(spans) && spans[j].page == spans[i].page {
+			j++
 		}
-		return spans[i].off < spans[j].off
-	})
+		res := flattenPageSpans(spans[i:j])
+		if !changed && len(res) == j-i && &res[0] == &spans[i] {
+			i = j
+			continue // untouched subslice: spans is still the truth
+		}
+		if !changed {
+			changed = true
+			flat = append(make([]span, 0, len(spans)), spans[:i]...)
+		}
+		flat = append(flat, res...)
+		i = j
+	}
+	if changed {
+		spans = flat
+	}
+	// A run is spans[start:end] merged into one record of `bytes`
+	// payload starting at spans[start].off.
+	type run struct {
+		start, end, bytes int
+	}
+	runs := make([]run, 0, len(spans))
+	for i := 0; i < len(spans); {
+		r := run{start: i, end: i + 1, bytes: len(spans[i].data)}
+		next := spans[i].off + r.bytes
+		for r.end < len(spans) &&
+			spans[r.end].page == spans[i].page &&
+			spans[r.end].off == next {
+			r.bytes += len(spans[r.end].data)
+			next = spans[i].off + r.bytes
+			r.end++
+		}
+		runs = append(runs, r)
+		i = r.end
+	}
 	size := 4
-	for _, s := range spans {
-		size += 16 + len(s.data)
+	for _, r := range runs {
+		size += 16 + r.bytes
 	}
 	buf := make([]byte, size)
-	binary.LittleEndian.PutUint32(buf, uint32(len(spans)))
+	binary.LittleEndian.PutUint32(buf, uint32(len(runs)))
 	p := 4
-	for _, s := range spans {
-		binary.LittleEndian.PutUint64(buf[p:], uint64(s.page))
-		binary.LittleEndian.PutUint32(buf[p+8:], uint32(s.off))
-		binary.LittleEndian.PutUint32(buf[p+12:], uint32(len(s.data)))
-		copy(buf[p+16:], s.data)
-		p += 16 + len(s.data)
+	for _, r := range runs {
+		binary.LittleEndian.PutUint64(buf[p:], uint64(spans[r.start].page))
+		binary.LittleEndian.PutUint32(buf[p+8:], uint32(spans[r.start].off))
+		binary.LittleEndian.PutUint32(buf[p+12:], uint32(r.bytes))
+		p += 16
+		for k := r.start; k < r.end; k++ {
+			copy(buf[p:], spans[k].data)
+			p += len(spans[k].data)
+		}
 	}
 	return buf
+}
+
+// flattenPageSpans resolves one page's write-ordered spans into
+// disjoint, offset-sorted spans with later writes winning. The common
+// case — no two records overlap — is detected without touching the
+// payloads; the slow path replays the writes in order into a scratch
+// image (put writes only ever overlap within one page's extent, so the
+// scratch is bounded by the page size).
+func flattenPageSpans(ss []span) []span {
+	// Fastest path: already offset-sorted and disjoint (sequential
+	// fills, strided loops) — no copy, no sort.
+	clean := true
+	for k := 1; k < len(ss); k++ {
+		if ss[k-1].off+len(ss[k-1].data) > ss[k].off {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return ss
+	}
+	sorted := make([]span, len(ss))
+	copy(sorted, ss)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
+	overlap := false
+	for k := 1; k < len(sorted); k++ {
+		if sorted[k-1].off+len(sorted[k-1].data) > sorted[k].off {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return sorted
+	}
+	lo, hi := ss[0].off, ss[0].off
+	for _, s := range ss {
+		if s.off < lo {
+			lo = s.off
+		}
+		if end := s.off + len(s.data); end > hi {
+			hi = end
+		}
+	}
+	img := make([]byte, hi-lo)
+	written := make([]bool, hi-lo)
+	for _, s := range ss { // write order: later writes overwrite
+		copy(img[s.off-lo:], s.data)
+		for k := range s.data {
+			written[s.off-lo+k] = true
+		}
+	}
+	var out []span
+	for k := 0; k < len(written); {
+		if !written[k] {
+			k++
+			continue
+		}
+		start := k
+		for k < len(written) && written[k] {
+			k++
+		}
+		out = append(out, span{page: ss[0].page, off: lo + start, data: img[start:k:k]})
+	}
+	return out
 }
 
 // decodeDiff parses an applyDiff message back into spans. The returned

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pages"
+)
+
+// The write-log benchmarks cover the two halves of the shared write
+// path: Record (the per-put cost every remote write pays) and the
+// aggregated-diff path (Take + encodeDiff, the cost of assembling the
+// per-home svcApplyDiff messages at a release boundary). The committed
+// baseline numbers live in BENCH_writelog.json at the repository root;
+// see README "Write-path benchmarks" for how to compare a run against
+// them.
+
+// benchTake drains and encodes the log the way a release boundary
+// would, so the Record benchmarks measure steady-state logging rather
+// than unbounded accumulation.
+func benchTake(b *testing.B, w *WriteLog) {
+	b.Helper()
+	homeOf := func(p pages.PageID) int { return int(p) & 3 }
+	if g := w.Take(homeOf); g != nil {
+		for _, spans := range g {
+			_ = encodeDiff(spans)
+		}
+	}
+}
+
+// BenchmarkWriteLogRecordAdjacent measures the common inner-loop
+// pattern: a thread filling a remote array with consecutive 8-byte puts.
+// Every put after the first extends the previous record.
+func BenchmarkWriteLogRecordAdjacent(b *testing.B) {
+	var buf [8]byte
+	w := &WriteLog{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := (i * 8) % 4096
+		if off == 0 && i > 0 {
+			benchTake(b, w)
+		}
+		w.Record(1, off, buf[:])
+	}
+}
+
+// BenchmarkWriteLogRecordScattered alternates writes between four pages,
+// defeating last-record coalescing: every put starts a fresh record on a
+// different page than the previous one.
+func BenchmarkWriteLogRecordScattered(b *testing.B) {
+	var buf [8]byte
+	w := &WriteLog{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pages.PageID(i & 3)
+		off := ((i >> 2) * 8) % 4096
+		if off == 0 && p == 0 && i > 0 {
+			benchTake(b, w)
+		}
+		w.Record(p, off, buf[:])
+	}
+}
+
+// BenchmarkWriteLogRecordStrided writes every other field of one page:
+// same page, never adjacent, so each put appends a new record.
+func BenchmarkWriteLogRecordStrided(b *testing.B) {
+	var buf [8]byte
+	w := &WriteLog{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := (i * 16) % 4096
+		if off == 0 && i > 0 {
+			benchTake(b, w)
+		}
+		w.Record(1, off, buf[:])
+	}
+}
+
+// BenchmarkWriteLogAggregatedDiff measures the release-boundary path:
+// a phase's worth of writes (16 pages x 64 strided records, interleaved
+// across pages the way multiple threads of one node interleave), then
+// Take and per-home encodeDiff. The strided interleaving is the worst
+// case for put-time coalescing and the best case for shipping-time
+// coalescing: all 64 records of a page are adjacent once sorted.
+func BenchmarkWriteLogAggregatedDiff(b *testing.B) {
+	var buf [8]byte
+	homeOf := func(p pages.PageID) int { return int(p) & 3 }
+	b.ReportAllocs()
+	var msgBytes int64
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		w := &WriteLog{}
+		for rec := 0; rec < 64; rec++ {
+			for p := pages.PageID(0); p < 16; p++ {
+				w.Record(p, rec*8, buf[:])
+			}
+		}
+		for _, spans := range w.Take(homeOf) {
+			msg := encodeDiff(spans)
+			msgBytes += int64(len(msg))
+			msgs++
+		}
+	}
+	if msgs > 0 {
+		b.ReportMetric(float64(msgBytes)/float64(msgs), "msg-bytes/op")
+	}
+}
+
+// BenchmarkEncodeDiff measures encoding alone on a pre-built span set
+// with coalescable runs.
+func BenchmarkEncodeDiff(b *testing.B) {
+	var w WriteLog
+	var buf [8]byte
+	for rec := 0; rec < 64; rec++ {
+		for p := pages.PageID(0); p < 4; p++ {
+			w.Record(p, rec*8, buf[:])
+		}
+	}
+	groups := w.Take(func(pages.PageID) int { return 0 })
+	spans := groups[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = encodeDiff(spans)
+	}
+}

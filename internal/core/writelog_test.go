@@ -102,7 +102,32 @@ func TestDecodeDiffErrors(t *testing.T) {
 	}
 }
 
-// Property: encode/decode is the identity on sorted spans.
+// applySpans replays spans in order onto per-page byte images, the way
+// handleApplyDiff writes them into home frames. Zero-length spans have
+// no effect (encodeDiff may drop them), so they don't size the images.
+func applySpans(spans []span) map[pages.PageID][]byte {
+	images := make(map[pages.PageID][]byte)
+	for _, s := range spans {
+		if len(s.data) == 0 {
+			continue
+		}
+		img := images[s.page]
+		if need := s.off + len(s.data); need > len(img) {
+			grown := make([]byte, need)
+			copy(grown, img)
+			img = grown
+		}
+		copy(img[s.off:], s.data)
+		images[s.page] = img
+	}
+	return images
+}
+
+// Property: encode/decode preserves the program-order effect of the
+// spans. Record identity is not preserved — encodeDiff coalesces
+// exactly-adjacent records and resolves overlaps — but replaying the
+// decoded spans must produce exactly the image that applying the
+// original spans in write order produces.
 func TestDiffRoundTripProperty(t *testing.T) {
 	f := func(raw []struct {
 		Page uint8
@@ -117,23 +142,126 @@ func TestDiffRoundTripProperty(t *testing.T) {
 			}
 			in = append(in, span{page: pages.PageID(r.Page), off: int(r.Off), data: d})
 		}
+		want := applySpans(in) // program order, before encodeDiff reorders in place
 		msg := encodeDiff(in)
 		out, err := decodeDiff(msg)
 		if err != nil {
 			return false
 		}
-		if len(out) != len(in) {
+		got := applySpans(out)
+		if len(want) != len(got) {
 			return false
 		}
-		for i := range in {
-			if out[i].page != in[i].page || out[i].off != in[i].off || !bytes.Equal(out[i].data, in[i].data) {
+		for p, img := range want {
+			if !bytes.Equal(img, got[p]) {
 				return false
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Strided writes to one page become contiguous once sorted, so the
+// aggregated-diff path ships them as a single wire record.
+func TestEncodeDiffCoalescesAdjacentRecords(t *testing.T) {
+	var w WriteLog
+	// Even offsets first, then odd: never put-time adjacent.
+	for off := 0; off < 64; off += 16 {
+		w.Record(1, off, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	}
+	for off := 8; off < 64; off += 16 {
+		w.Record(1, off, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	}
+	groups := w.Take(func(pages.PageID) int { return 0 })
+	if got := len(groups[0]); got != 8 {
+		t.Fatalf("log records = %d, want 8", got)
+	}
+	msg := encodeDiff(groups[0])
+	out, err := decodeDiff(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("wire records = %d, want 1 coalesced record", len(out))
+	}
+	if out[0].off != 0 || len(out[0].data) != 64 {
+		t.Fatalf("coalesced record = off %d len %d, want 0/64", out[0].off, len(out[0].data))
+	}
+	if wantSize := 4 + 16 + 64; len(msg) != wantSize {
+		t.Fatalf("message size = %d, want %d", len(msg), wantSize)
+	}
+}
+
+// Overlapping records resolve in write order — the later write wins —
+// even when the later write starts at a LOWER offset, where a naive
+// (page, off) sort would apply it first and let the earlier write's
+// tail clobber it.
+func TestEncodeDiffOverlapRespectsWriteOrder(t *testing.T) {
+	spans := []span{
+		{page: 1, off: 2, data: []byte{0xaa, 0xaa, 0xaa, 0xaa}}, // first write: [2,6)
+		{page: 1, off: 0, data: []byte{0xbb, 0xbb, 0xbb, 0xbb}}, // later write: [0,4), wins on [2,4)
+	}
+	out, err := decodeDiff(encodeDiff(spans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := applySpans(out)[1]
+	if !bytes.Equal(img, []byte{0xbb, 0xbb, 0xbb, 0xbb, 0xaa, 0xaa}) {
+		t.Fatalf("applied image = %#v, want later write to win its overlap", img)
+	}
+	// The resolved records are disjoint, so the image is order-independent.
+	for i := 1; i < len(out); i++ {
+		if out[i-1].page == out[i].page && out[i-1].off+len(out[i-1].data) > out[i].off {
+			t.Fatalf("records %d and %d overlap after encoding", i-1, i)
+		}
+	}
+}
+
+// Rewriting the same field within one sync block (the common overlap)
+// ships only the last value.
+func TestEncodeDiffSameOffsetLaterWriteWins(t *testing.T) {
+	spans := []span{
+		{page: 3, off: 8, data: []byte{1, 2, 3, 4}},
+		{page: 3, off: 8, data: []byte{5, 6, 7, 8}},
+	}
+	out, err := decodeDiff(encodeDiff(spans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("wire records = %d, want 1", len(out))
+	}
+	if !bytes.Equal(out[0].data, []byte{5, 6, 7, 8}) {
+		t.Fatalf("shipped %v, want the later value", out[0].data)
+	}
+}
+
+// The epoch-based reset must make per-page buffers reusable: records of
+// a flushed epoch may not leak into the next, and spans taken in one
+// epoch must stay intact while the next epoch records new writes.
+func TestWriteLogEpochReset(t *testing.T) {
+	var w WriteLog
+	homeOf := func(pages.PageID) int { return 0 }
+
+	w.Record(1, 0, []byte{1, 2})
+	w.Record(2, 8, []byte{3})
+	first := w.Take(homeOf)[0]
+
+	// New epoch: same pages, different data. The old spans must not
+	// change and the new epoch must not resurrect old records.
+	w.Record(1, 100, []byte{9})
+	if rec, b := w.Pending(); rec != 1 || b != 1 {
+		t.Fatalf("pending after reuse = %d records / %d bytes, want 1/1", rec, b)
+	}
+	if !bytes.Equal(first[0].data, []byte{1, 2}) || first[1].data[0] != 3 {
+		t.Fatalf("taken spans mutated by next epoch: %v", first)
+	}
+	second := w.Take(homeOf)[0]
+	if len(second) != 1 || second[0].page != 1 || second[0].off != 100 {
+		t.Fatalf("second epoch spans = %+v", second)
 	}
 }
 

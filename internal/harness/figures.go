@@ -70,16 +70,29 @@ func SpecByID(id int) (FigureSpec, error) {
 	return FigureSpec{}, fmt.Errorf("harness: no figure %d (have 1-5)", id)
 }
 
-// BuildSpec regenerates one figure.
+// BuildSpec regenerates one figure with the paper's two protocols.
 func BuildSpec(s FigureSpec, paperScale bool) (Figure, error) {
-	return BuildFigureN(s.ID, s.Title, func() apps.App { return s.MakeApp(paperScale) }, s.Repeats)
+	return BuildSpecProtocols(s, paperScale, nil)
+}
+
+// BuildSpecProtocols regenerates one figure over an explicit protocol
+// list (nil or empty = the paper's two), so the extension protocols can
+// be drawn as extra series on the paper's axes.
+func BuildSpecProtocols(s FigureSpec, paperScale bool, protocols []string) (Figure, error) {
+	return BuildFigureProtocols(s.ID, s.Title, func() apps.App { return s.MakeApp(paperScale) }, s.Repeats, protocols)
 }
 
 // BuildAll regenerates all five figures.
 func BuildAll(paperScale bool) ([]Figure, error) {
+	return BuildAllProtocols(paperScale, nil)
+}
+
+// BuildAllProtocols regenerates all five figures over an explicit
+// protocol list (nil or empty = the paper's two).
+func BuildAllProtocols(paperScale bool, protocols []string) ([]Figure, error) {
 	var out []Figure
 	for _, s := range Specs() {
-		f, err := BuildSpec(s, paperScale)
+		f, err := BuildSpecProtocols(s, paperScale, protocols)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
@@ -127,8 +128,43 @@ type Figure struct {
 	Lines []Line
 }
 
-// Protocols under comparison, in the paper's legend order.
+// Protocols under comparison in the paper's figures, in the paper's
+// legend order. The registry knows more (java_up, java_hlrc); figures
+// default to the paper's two so the regenerated figures stay faithful.
 var Protocols = []string{"java_ic", "java_pf"}
+
+// ParseProtocols resolves a -protocols flag value shared by the CLIs:
+// "" returns nil (caller's default), "all" returns every registered
+// protocol, and anything else is a comma-separated list validated
+// against the registry. A list that names no protocol at all (e.g.
+// " ,") is an error, not a silent fallback.
+func ParseProtocols(list string) ([]string, error) {
+	switch strings.TrimSpace(list) {
+	case "":
+		return nil, nil
+	case "all":
+		return core.ProtocolNames(), nil
+	}
+	known := make(map[string]bool)
+	for _, p := range core.ProtocolNames() {
+		known[p] = true
+	}
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !known[p] {
+			return nil, fmt.Errorf("harness: unknown protocol %q (have %s)", p, strings.Join(core.ProtocolNames(), ", "))
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: empty protocol list %q", list)
+	}
+	return out, nil
+}
 
 // NodeCounts returns the node counts swept for a platform: 1..MaxNodes,
 // matching the figures' x axes (1-12 Myrinet, 1-6 SCI).
@@ -152,12 +188,22 @@ func BuildFigure(id int, title string, makeApp func() apps.App, opts ...func(*Ru
 // percent with thread scheduling (as on the real system), so Figure 4 is
 // built from medians.
 func BuildFigureN(id int, title string, makeApp func() apps.App, repeats int, opts ...func(*RunConfig)) (Figure, error) {
+	return BuildFigureProtocols(id, title, makeApp, repeats, Protocols, opts...)
+}
+
+// BuildFigureProtocols is BuildFigureN over an explicit protocol list,
+// for figures that compare the extension protocols (java_up, java_hlrc)
+// alongside the paper's two.
+func BuildFigureProtocols(id int, title string, makeApp func() apps.App, repeats int, protocols []string, opts ...func(*RunConfig)) (Figure, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
+	if len(protocols) == 0 {
+		protocols = Protocols
+	}
 	fig := Figure{ID: id, Title: title}
 	for _, cl := range model.Clusters() {
-		for _, proto := range Protocols {
+		for _, proto := range protocols {
 			line := Line{Label: fmt.Sprintf("%s, %s", cl.Name, proto)}
 			for _, n := range NodeCounts(cl) {
 				cfg := RunConfig{Cluster: cl, Nodes: n, Protocol: proto}

@@ -174,6 +174,21 @@ type DSMCosts struct {
 	// cache entry on monitor entry for java_ic (clearing presence bits).
 	InvalidateEntryCycles float64
 
+	// BatchSetupCycles is the fixed cost of assembling one aggregated
+	// per-home diff message on the batched flush path (java_hlrc's
+	// release): gathering the per-page record buffers, sorting, and
+	// building the message header. Charged once per home node flushed,
+	// however large the batch, so it is amortized by programs that write
+	// many fields per synchronization and punishes ones that release
+	// after a handful of writes.
+	BatchSetupCycles float64
+
+	// BatchPerByteCycles is the per-byte cost of the batched flush path.
+	// It is lower than DiffPerByteCycles: the twin-free write log
+	// already is the diff, so shipping it is a straight replay of an
+	// append-only buffer with no per-record comparison or table work.
+	BatchPerByteCycles float64
+
 	// CacheCapacityPages bounds the number of remote pages a node may
 	// cache simultaneously; 0 means unlimited (the paper's runs fit in
 	// memory). When the cache is full the oldest entry is evicted:
@@ -193,5 +208,7 @@ func DefaultDSMCosts() DSMCosts {
 		ServiceCycles:         400,
 		DiffPerByteCycles:     0.75,
 		InvalidateEntryCycles: 4,
+		BatchSetupCycles:      250,
+		BatchPerByteCycles:    0.3,
 	}
 }

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/jmm"
+	"repro/internal/threads"
+)
+
+// countingGateApp is gateApp plus an execution counter, so a test can
+// assert how many times a point's kernel actually ran.
+type countingGateApp struct {
+	gateApp
+	runs *atomic.Int64
+}
+
+func (a countingGateApp) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
+	a.runs.Add(1)
+	return a.gateApp.Run(rt, h, workers)
+}
+
+// TestServerFlightCoalescingUnderRace closes the untested dedup path of
+// the flight table: two identical sweeps submitted concurrently, both
+// in flight at the same moment (the gate app blocks every started point
+// until the test releases it), must produce exactly one kernel
+// execution per distinct grid point — the other job's points coalesce.
+// Run under -race, this also exercises the flight table's locking.
+func TestServerFlightCoalescingUnderRace(t *testing.T) {
+	var runs atomic.Int64
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	newApp := func(name string, paperScale bool) (apps.App, error) {
+		if name != "gate" {
+			return nil, fmt.Errorf("unknown app %q", name)
+		}
+		return countingGateApp{gateApp{started: started, release: release}, &runs}, nil
+	}
+	s := newServer(t, Config{NewApp: newApp, MaxConcurrentJobs: 2, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// java_hlrc on the wire: the /v1/sweeps protocol axis accepts any
+	// registered protocol.
+	const spec = `{"apps":["gate"],"clusters":["sci"],"protocols":["java_hlrc"],"nodes":[1,2]}`
+	const points = 2
+
+	ids := make([]string, 2)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = submit(t, ts.URL, spec)
+		}(i)
+	}
+	wg.Wait()
+
+	// Exactly `points` kernels start; the identical points of the other
+	// job must be following their flights, not starting kernels.
+	for i := 0; i < points; i++ {
+		<-started
+	}
+	close(release)
+
+	var executed, coalesced int
+	for _, id := range ids {
+		v := waitTerminal(t, ts.URL, id)
+		if v.State != StateDone {
+			t.Fatalf("job %s state %s, want done", id, v.State)
+		}
+		if v.Counts.Done != points {
+			t.Fatalf("job %s done=%d, want %d", id, v.Counts.Done, points)
+		}
+		executed += v.Counts.Executed
+		coalesced += v.Counts.Coalesced
+	}
+	if got := runs.Load(); got != points {
+		t.Fatalf("kernel executions = %d, want exactly %d (one per distinct point)", got, points)
+	}
+	if executed != points || coalesced != points {
+		t.Fatalf("executed=%d coalesced=%d across both jobs, want %d/%d", executed, coalesced, points, points)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), fmt.Sprintf("hyperion_points_coalesced_total %d", points)) {
+		t.Fatalf("metrics do not account the coalesced points:\n%s", body)
+	}
+}
+
+// TestServerSweepsRunJavaHLRC submits a real four-protocol comparison
+// grid over HTTP and requires every point — java_hlrc's included — to
+// execute and validate.
+func TestServerSweepsRunJavaHLRC(t *testing.T) {
+	s := newServer(t, Config{NewApp: testApps, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts.URL, `{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_ic","java_pf","java_up","java_hlrc"],"nodes":[2]}`)
+	v := waitTerminal(t, ts.URL, id)
+	if v.State != StateDone {
+		t.Fatalf("job state %s, want done", v.State)
+	}
+	if v.Counts.Executed != 4 || v.Counts.Failed != 0 {
+		t.Fatalf("counts = %+v, want 4 executed, 0 failed", v.Counts)
+	}
+}

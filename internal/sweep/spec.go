@@ -62,6 +62,9 @@ type Override struct {
 	DiffPerByteCycles     *float64 `json:"diff_per_byte_cycles,omitempty"`
 	InvalidateEntryCycles *float64 `json:"invalidate_entry_cycles,omitempty"`
 	CacheCapacityPages    *int     `json:"cache_capacity_pages,omitempty"`
+	// Batched-diff knobs of the java_hlrc release path.
+	BatchSetupCycles   *float64 `json:"batch_setup_cycles,omitempty"`
+	BatchPerByteCycles *float64 `json:"batch_per_byte_cycles,omitempty"`
 
 	// Platform knobs (model.Cluster / model.Machine), the ablation axes.
 	CheckCycles *float64 `json:"check_cycles,omitempty"`
@@ -91,7 +94,8 @@ func (o Override) Fingerprint() string {
 func (o Override) IsZero() bool {
 	return o.CacheLookupCycles == nil && o.ServiceCycles == nil &&
 		o.DiffPerByteCycles == nil && o.InvalidateEntryCycles == nil &&
-		o.CacheCapacityPages == nil && o.CheckCycles == nil &&
+		o.CacheCapacityPages == nil && o.BatchSetupCycles == nil &&
+		o.BatchPerByteCycles == nil && o.CheckCycles == nil &&
 		o.PageFaultUS == nil && o.MprotectUS == nil && o.PageSize == nil
 }
 
@@ -112,6 +116,12 @@ func (o Override) Apply(cl model.Cluster, costs model.DSMCosts) (model.Cluster, 
 	if o.CacheCapacityPages != nil {
 		costs.CacheCapacityPages = *o.CacheCapacityPages
 	}
+	if o.BatchSetupCycles != nil {
+		costs.BatchSetupCycles = *o.BatchSetupCycles
+	}
+	if o.BatchPerByteCycles != nil {
+		costs.BatchPerByteCycles = *o.BatchPerByteCycles
+	}
 	if o.CheckCycles != nil {
 		cl.Machine.CheckCycles = *o.CheckCycles
 	}
@@ -129,6 +139,8 @@ func (o Override) Apply(cl model.Cluster, costs model.DSMCosts) (model.Cluster, 
 
 // PaperGrid is the full grid behind the paper's evaluation: five apps,
 // two clusters, two protocols, every node count each platform supports.
+// Any registered protocol is accepted on the Protocols axis; see
+// ExtendedGrid for the grid over all of them.
 func PaperGrid() Spec {
 	return Spec{
 		Name:      "paper-grid",
@@ -136,6 +148,15 @@ func PaperGrid() Spec {
 		Clusters:  []string{"myrinet", "sci"},
 		Protocols: []string{"java_ic", "java_pf"},
 	}
+}
+
+// ExtendedGrid is PaperGrid widened to every registered protocol —
+// the paper's two plus the java_up and java_hlrc extensions.
+func ExtendedGrid() Spec {
+	s := PaperGrid()
+	s.Name = "extended-grid"
+	s.Protocols = core.ProtocolNames()
+	return s
 }
 
 // LoadSpec reads a JSON Spec from a file. Unknown fields are rejected so
@@ -174,9 +195,17 @@ type Point struct {
 	Override       Override `json:"override"`
 }
 
+// maxGridPoints bounds a single spec's expansion. Big enough for any
+// real study (the full paper grid is well under a thousand points, and
+// the widest ablation grids are a few tens of thousands), small enough
+// that a degenerate spec cannot exhaust memory.
+const maxGridPoints = 1 << 16
+
 // cacheKeyVersion is folded into every cache key; bump it when the
 // simulation model changes in a way that invalidates cached results.
-const cacheKeyVersion = "hyperion-sweep-v1"
+// v2: shipping-time diff coalescing and deterministic per-home flush
+// order changed message sizes and virtual timings for every protocol.
+const cacheKeyVersion = "hyperion-sweep-v2"
 
 // Key returns the point's content-addressed cache key: a hex SHA-256
 // over the canonicalized point. The override label is excluded — two
@@ -304,6 +333,22 @@ func (s Spec) expand(validateApp func(string) error) ([]Point, error) {
 	repeats := s.Repeats
 	if repeats < 1 {
 		repeats = 1
+	}
+
+	// Bound the grid before materializing it: a degenerate spec (huge
+	// or duplicated axes) must fail loudly, not exhaust memory. The
+	// node axis is bounded per platform, so 16 over-estimates every
+	// cluster's default 1..MaxNodes range.
+	nodeAxis := len(s.Nodes)
+	if nodeAxis == 0 {
+		nodeAxis = 16
+	}
+	total := int64(1)
+	for _, n := range []int{len(appNames), len(clusterNames), len(overrides), len(tpn), nodeAxis, len(protocols)} {
+		total *= int64(n)
+		if total > maxGridPoints {
+			return nil, fmt.Errorf("sweep: spec %q expands to over %d points", s.Name, maxGridPoints)
+		}
 	}
 
 	var points []Point

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSpecUnmarshal hardens the submission path shared by the
+// hyperion-sweep CLI and the experiment server's POST /v1/sweeps:
+// arbitrary bytes go through ParseSpec and, if they decode, through
+// Expand. Malformed axes, unknown protocols or apps, and non-positive
+// node/thread counts must surface as errors — never as a panic and
+// never as a silently empty or unbounded grid. The seed corpus lives
+// under testdata/fuzz/FuzzSpecUnmarshal.
+func FuzzSpecUnmarshal(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"name":"ok","apps":["pi"],"protocols":["java_hlrc"],"nodes":[1,2]}`),
+		[]byte(`{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_ic","java_pf","java_up","java_hlrc"]}`),
+		[]byte(`{"protocols":["bogus"]}`),
+		[]byte(`{"apps":["no-such-app"]}`),
+		[]byte(`{"clusters":["token-ring"]}`),
+		[]byte(`{"nodes":[-1]}`),
+		[]byte(`{"nodes":[0]}`),
+		[]byte(`{"threads_per_node":[-3]}`),
+		[]byte(`{"threads_per_node":[0]}`),
+		[]byte(`{"repeats":-5}`),
+		[]byte(`{"costs":[{"page_size":3}]}`),
+		[]byte(`{"costs":[{"page_size":-4096}]}`),
+		[]byte(`{"costs":[{"batch_setup_cycles":-1,"batch_per_byte_cycles":0.5}]}`),
+		[]byte(`{"costs":[{"check_cycles":0}]}`),
+		[]byte(`{"unknown_field":1}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`"just a string"`),
+		[]byte(`{"apps":`),
+		[]byte(`{"nodes":[9999999]}`),
+		[]byte(`{"nodes":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1]}`),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return // rejected at decode: the contract is "error, not panic"
+		}
+		points, err := s.Expand()
+		if err != nil {
+			return // rejected at expansion: same contract
+		}
+		if len(points) == 0 {
+			t.Fatalf("Expand returned no points and no error for %q", data)
+		}
+		// Per-point checks are O(points); cap them so a large-but-legal
+		// grid doesn't stall the fuzzer.
+		if len(points) > 128 {
+			points = points[:128]
+		}
+		for _, p := range points {
+			if p.Nodes <= 0 {
+				t.Fatalf("expanded point with nodes=%d from %q", p.Nodes, data)
+			}
+			if p.ThreadsPerNode <= 0 {
+				t.Fatalf("expanded point with tpn=%d from %q", p.ThreadsPerNode, data)
+			}
+			if strings.TrimSpace(p.App) == "" || strings.TrimSpace(p.Protocol) == "" {
+				t.Fatalf("expanded point with empty axis: %+v", p)
+			}
+			// Every accepted point must produce a stable cache identity
+			// and a runnable platform.
+			if p.Key() == "" {
+				t.Fatalf("empty cache key for %+v", p)
+			}
+			if _, _, err := p.Platform(); err != nil {
+				t.Fatalf("accepted point has no platform: %+v: %v", p, err)
+			}
+		}
+	})
+}
