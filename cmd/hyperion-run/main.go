@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/trace"
@@ -40,7 +41,9 @@ func run(args []string, stdout io.Writer) error {
 	protocol := fs.String("protocol", "java_pf", "consistency protocol: "+strings.Join(hyperion.Protocols(), ", "))
 	threadsPerNode := fs.Int("threads-per-node", 1, "application threads per node (paper uses 1; >1 is its future-work experiment)")
 	paperScale := fs.Bool("paperscale", false, "use the paper's full §4.1 problem sizes (much slower)")
-	traceN := fs.Int("trace", 0, "record protocol events and dump the first N (0 = off)")
+	traceOut := fs.String("trace", "", "record protocol events and write a Perfetto (Chrome trace-event) JSON file")
+	traceDump := fs.Int("trace-dump", 0, "record protocol events and dump the first N as text (0 = off)")
+	counters := fs.Bool("counters", false, "print the engine's per-node counter breakdown")
 	showVersion := fs.Bool("version", false, "print build version and exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -72,7 +75,7 @@ func run(args []string, stdout io.Writer) error {
 		ThreadsPerNode: *threadsPerNode,
 	}
 	var tracer *trace.Buffer
-	if *traceN > 0 {
+	if *traceOut != "" || *traceDump > 0 {
 		tracer = trace.NewBuffer(1 << 20)
 		cfg.Tracer = tracer
 	}
@@ -88,8 +91,29 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "validation: %s (valid=%v)\n", res.Check.Summary, res.Check.Valid)
 	fmt.Fprintf(stdout, "network:    %d messages, %d bytes\n", res.Messages, res.Bytes)
 	fmt.Fprintf(stdout, "events:     %s\n", res.Stats)
-	if tracer != nil {
-		fmt.Fprintf(stdout, "\ntrace summary:\n%s\nfirst %d events:\n%s", tracer.Summary(), *traceN, tracer.Dump(*traceN))
+	if *counters {
+		fmt.Fprintf(stdout, "\nengine counters (total over %d node(s)):\n", res.Nodes)
+		for _, name := range core.NodeStatNames() {
+			v, _ := res.RunStats.Total.Get(name)
+			fmt.Fprintf(stdout, "  %-20s %d\n", name, v)
+		}
+	}
+	if *traceDump > 0 {
+		fmt.Fprintf(stdout, "\ntrace summary:\n%s\nfirst %d events:\n%s", tracer.Summary(), *traceDump, tracer.Dump(*traceDump))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		werr := tracer.WritePerfetto(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace %s: %w", *traceOut, werr)
+		}
+		fmt.Fprintf(stdout, "\ntrace:      %d event(s) -> %s (load in ui.perfetto.dev)\n", tracer.Len(), *traceOut)
 	}
 	if !res.Check.Valid {
 		return fmt.Errorf("validation failed: %s", res.Check.Summary)

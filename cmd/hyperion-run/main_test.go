@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestRunVersion(t *testing.T) {
@@ -25,6 +29,26 @@ func TestRunSmoke(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-app", "jacobi", "-cluster", "sci", "-nodes", "2", "-trace", path, "-trace-dump", "3", "-counters"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace summary:", "engine counters", "faults", path} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("emitted trace fails schema check: %v", err)
 	}
 }
 

@@ -9,9 +9,11 @@
 //	GET  /v1/sweeps              list jobs
 //	GET  /v1/sweeps/{id}         job status and partial results
 //	GET  /v1/sweeps/{id}/events  SSE progress stream
+//	GET  /v1/sweeps/{id}/trace   Perfetto trace of a traced point
 //	GET  /v1/results             query cached results by axis
 //	GET  /healthz                liveness
 //	GET  /metrics                text-format counters and latency histogram
+//	GET  /debug/pprof/           Go profiler (with -pprof)
 //
 // Shutdown (SIGINT/SIGTERM) is graceful: running points drain into the
 // cache, unfinished jobs persist to -state and resume on restart.
@@ -58,6 +60,8 @@ func run(args []string, stdout io.Writer) error {
 	jobs := fs.Int("jobs", 2, "jobs executing concurrently")
 	queueCap := fs.Int("queue", 64, "max queued jobs before submissions get 503")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "max time to wait for running points on shutdown")
+	enablePprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator-facing deployments only)")
+	traceCap := fs.Int("trace-capacity", 0, "protocol-event ring size for jobs submitted with \"trace\": true (0 = default)")
 	showVersion := fs.Bool("version", false, "print build version and exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -78,6 +82,8 @@ func run(args []string, stdout io.Writer) error {
 		MaxConcurrentJobs: *jobs,
 		QueueCap:          *queueCap,
 		StatePath:         *statePath,
+		EnablePprof:       *enablePprof,
+		TraceCapacity:     *traceCap,
 	}
 	if *cacheDir != "" {
 		cache, err := sweep.OpenCache(*cacheDir)

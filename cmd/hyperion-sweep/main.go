@@ -61,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 		workers     = fs.Int("workers", 0, "worker goroutines (default NumCPU)")
 		outPath     = fs.String("out", "-", "results file (- = stdout)")
 		format      = fs.String("format", "csv", "results format: csv or json (both stream as points complete)")
+		columnsF    = fs.String("columns", "", "CSV counter columns: comma-separated engine counter names, \"all\", or empty for the default set (checks,faults,mprotects,fetches)")
 		aggregate   = fs.Bool("aggregate", false, "print speedup curves, protocol crossovers and best configs")
 		printSpec   = fs.Bool("print-spec", false, "print the resolved spec as JSON and exit")
 		quiet       = fs.Bool("quiet", false, "suppress per-point progress on stderr")
@@ -139,6 +140,13 @@ func run(args []string, stdout io.Writer) error {
 	if *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q (csv or json)", *format)
 	}
+	columns, err := sweep.ParseCSVColumns(*columnsF)
+	if err != nil {
+		return err
+	}
+	if columns != nil && *format != "csv" {
+		return fmt.Errorf("-columns only applies to -format csv")
+	}
 	points, err := spec.Expand()
 	if err != nil {
 		return err
@@ -168,7 +176,7 @@ func run(args []string, stdout io.Writer) error {
 	var sw streamWriter
 	switch *format {
 	case "csv":
-		sw = &csvStream{w: w}
+		sw = &csvStream{w: w, cols: columns}
 	case "json":
 		sw = &jsonStream{w: w}
 	}
@@ -229,13 +237,14 @@ type streamWriter interface {
 }
 
 // csvStream writes the header up front and one row per successful point
-// as it lands.
+// as it lands. cols selects the counter columns (nil = the default set).
 type csvStream struct {
-	w io.Writer
+	w    io.Writer
+	cols []string
 }
 
 func (s *csvStream) begin() error {
-	_, err := fmt.Fprintln(s.w, sweep.CSVHeader)
+	_, err := fmt.Fprintln(s.w, sweep.CSVHeaderFor(s.cols))
 	return err
 }
 
@@ -243,7 +252,7 @@ func (s *csvStream) point(pr sweep.PointResult) error {
 	if pr.Err != nil {
 		return nil // surfaced by Outcome.Err at the end
 	}
-	_, err := fmt.Fprintln(s.w, sweep.CSVRow(pr))
+	_, err := fmt.Fprintln(s.w, sweep.CSVRowFor(pr, s.cols))
 	return err
 }
 

@@ -88,12 +88,36 @@ func TestRunStreamsJSONToFile(t *testing.T) {
 	}
 }
 
+// TestRunColumns selects explicit counter columns (mixing a RunStats
+// name with a legacy alias) and checks the header and row widths.
+func TestRunColumns(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "pi", "-clusters", "sci", "-protocols", "java_pf", "-nodes", "1",
+		"-columns", "flush_bytes,faults,monitor_acquires", "-quiet"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row:\n%s", out.String())
+	}
+	wantHeader := "app,cluster,nodes,tpn,protocol,label,seconds,valid,cached,messages,bytes,flush_bytes,faults,monitor_acquires"
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q, want %q", lines[0], wantHeader)
+	}
+	if got, want := strings.Count(lines[1], ","), strings.Count(wantHeader, ","); got != want {
+		t.Errorf("row has %d commas, header %d:\n%s", got, want, lines[1])
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-format", "xml"},
 		{"-apps", "warp"},
 		{"-nodes", "two"},
 		{"-spec", "no-such-file.json"},
+		{"-columns", "bogus_counter"},
+		{"-columns", "faults", "-format", "json"},
 		{"stray-arg"},
 	} {
 		if err := run(args, &bytes.Buffer{}); err == nil {

@@ -1,0 +1,63 @@
+// Command hyperion-trace-check validates Chrome trace-event JSON files
+// against the subset of the schema the simulator's exporter promises:
+// a traceEvents array, name/ph/pid on every event, tid and a
+// non-negative numeric ts on every non-metadata event, and
+// non-decreasing timestamps within each (pid, tid) track. CI runs it on
+// every trace hyperion-run emits; it also catches hand-edited or
+// truncated traces before they confuse a viewer.
+//
+// Usage:
+//
+//	hyperion-trace-check run.trace.json [more.trace.json ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperion-trace-check:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: validate every named file,
+// failing on the first invalid one.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hyperion-trace-check", flag.ContinueOnError)
+	quiet := fs.Bool("quiet", false, "print nothing on success")
+	showVersion := fs.Bool("version", false, "print build version and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // usage printed; -h is success
+		}
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String())
+		return nil
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no trace files named (usage: hyperion-trace-check FILE...)")
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := trace.ValidateChromeTrace(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "%s: ok (%d bytes)\n", path, len(data))
+		}
+	}
+	return nil
+}

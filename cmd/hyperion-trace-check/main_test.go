@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckValid(t *testing.T) {
+	path := writeFile(t, "ok.json",
+		`{"traceEvents":[{"name":"fetch","ph":"i","pid":0,"tid":1,"ts":2.5}]}`)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("output %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-quiet", path, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-quiet printed %q", out.String())
+	}
+}
+
+func TestCheckInvalid(t *testing.T) {
+	bad := writeFile(t, "bad.json", `{"traceEvents":[{"ph":"i","pid":0}]}`)
+	err := run([]string{bad}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "missing name") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                    // no files
+		{"no-such-file.json"}, // unreadable
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestCheckVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repro") {
+		t.Errorf("version output %q", out.String())
+	}
+}

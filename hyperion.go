@@ -48,6 +48,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/threads"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -81,6 +82,14 @@ type (
 	Duration = vtime.Duration
 	// Stats is a snapshot of protocol event counters.
 	Stats = stats.Snapshot
+	// RunStats is the engine's per-node counter report: faults, fetches,
+	// cache hits, flush traffic, monitor and barrier activity, mprotect
+	// calls — the "why" behind a run's virtual time.
+	RunStats = core.RunStats
+	// TraceBuffer is a bounded ring of protocol events recorded during a
+	// run; render it with WritePerfetto for ui.perfetto.dev or
+	// chrome://tracing.
+	TraceBuffer = trace.Buffer
 )
 
 // Platform presets from the paper's evaluation (§4.2).
@@ -200,6 +209,22 @@ func (s *System) NewBarrier(home, parties int) *Barrier { return s.heap.NewBarri
 // Stats snapshots the run's protocol event counters (locality checks,
 // page faults, mprotect calls, fetches, diff traffic, ...).
 func (s *System) Stats() Stats { return s.cl.Counters().Snapshot() }
+
+// RunStats reports the engine's per-node counter breakdown — the same
+// numbers hyperion-run -counters prints and sweep results carry.
+func (s *System) RunStats() RunStats { return s.eng.RunStats() }
+
+// EnableTracing attaches a fresh protocol-event ring of the given
+// capacity (<= 0 selects the default of 65536 events) and returns it.
+// Once the ring fills, the oldest events are overwritten, so the trace
+// always holds the newest window of the run. Recording observes the
+// simulation without advancing virtual time; call before Main and
+// render with the buffer's WritePerfetto.
+func (s *System) EnableTracing(capacity int) *TraceBuffer {
+	buf := trace.NewBuffer(capacity)
+	s.eng.SetTracer(buf)
+	return buf
+}
 
 // NetworkStats reports cumulative message and byte counts.
 func (s *System) NetworkStats() (messages, bytes int64) { return s.cl.Network().Stats() }

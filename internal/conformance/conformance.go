@@ -51,6 +51,12 @@ type Observation struct {
 	// deterministic read points, in program order; nil when the
 	// workload records none.
 	Reads [][]float64
+	// Stats is the engine's counter snapshot for the run. Counters are
+	// cost-model observables — they legitimately differ ACROSS protocols
+	// and are excluded from Diff — but for one protocol they must be
+	// bit-identical run to run, or every counter surface (CSV, cache,
+	// /v1/results) is noise.
+	Stats core.RunStats
 }
 
 // Workload is one deterministic program of the differential suite.
@@ -88,6 +94,7 @@ func Execute(w Workload, protocol string) (Observation, error) {
 		Summary:  check.Summary,
 		Heap:     eng.HomeSnapshot(),
 		Reads:    reads,
+		Stats:    eng.RunStats(),
 	}, nil
 }
 

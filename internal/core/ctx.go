@@ -18,6 +18,10 @@ type Ctx struct {
 	node  int
 	clock *vtime.Clock
 
+	// tid is the context's engine-unique thread id, the trace track the
+	// context's events render under.
+	tid int64
+
 	// fast is a small fully-associative translation cache over recently
 	// resolved pages, standing in for the registers/locality descriptors
 	// the compiled code would keep live across a loop. Entries for
@@ -54,11 +58,14 @@ func (e *Engine) NewCtx(node int, start vtime.Time) *Ctx {
 	if node < 0 || node >= len(e.nodes) {
 		panic(fmt.Sprintf("core: ctx on node %d of %d", node, len(e.nodes)))
 	}
-	return &Ctx{eng: e, node: node, clock: vtime.NewClock(start)}
+	return &Ctx{eng: e, node: node, clock: vtime.NewClock(start), tid: e.ctxSeq.Add(1) - 1}
 }
 
 // Node reports the node this context runs on.
 func (c *Ctx) Node() int { return c.node }
+
+// TID reports the context's engine-unique thread id (its trace track).
+func (c *Ctx) TID() int64 { return c.tid }
 
 // Clock returns the context's virtual clock.
 func (c *Ctx) Clock() *vtime.Clock { return c.clock }

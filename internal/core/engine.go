@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/model"
@@ -61,6 +62,13 @@ type Engine struct {
 	nodes []*nodeMem
 	cnt   *stats.Counters
 
+	// runStats is the per-node counter array behind Engine.RunStats,
+	// pre-allocated so recording is one atomic add, no allocations.
+	runStats []NodeStats
+
+	// ctxSeq hands out per-run thread track ids (Ctx.TID).
+	ctxSeq atomic.Int64
+
 	// tracer, when non-nil, records protocol events with virtual
 	// timestamps. Set once before the run via SetTracer.
 	tracer *trace.Buffer
@@ -76,10 +84,11 @@ func (e *Engine) SetTracer(b *trace.Buffer) { e.tracer = b }
 // Tracer returns the attached recorder, if any.
 func (e *Engine) Tracer() *trace.Buffer { return e.tracer }
 
-// traceEvent records an event when tracing is enabled.
-func (e *Engine) traceEvent(at vtime.Time, node int, kind trace.Kind, arg int64) {
+// traceEvent records an event when tracing is enabled. With no tracer
+// attached this is one nil check and no allocations.
+func (e *Engine) traceEvent(at vtime.Time, node int, tid int64, kind trace.Kind, arg, aux int64) {
 	if e.tracer != nil {
-		e.tracer.Record(at, node, kind, arg)
+		e.tracer.Record(trace.Event{At: at, Node: node, TID: tid, Kind: kind, Arg: arg, Aux: aux})
 	}
 }
 
@@ -88,12 +97,13 @@ func (e *Engine) traceEvent(at vtime.Time, node int, kind trace.Kind, arg int64)
 func NewEngine(cl *cluster.Cluster, costs model.DSMCosts, proto Protocol) *Engine {
 	cfg := cl.Config()
 	e := &Engine{
-		cl:    cl,
-		space: pages.NewSpace(cl.Size(), cfg.PageSize),
-		costs: costs,
-		proto: proto,
-		nodes: make([]*nodeMem, cl.Size()),
-		cnt:   cl.Counters(),
+		cl:       cl,
+		space:    pages.NewSpace(cl.Size(), cfg.PageSize),
+		costs:    costs,
+		proto:    proto,
+		nodes:    make([]*nodeMem, cl.Size()),
+		cnt:      cl.Counters(),
+		runStats: make([]NodeStats, cl.Size()),
 	}
 	e.alloc = pages.NewAllocator(e.space)
 	for i := range e.nodes {
@@ -181,7 +191,10 @@ func (e *Engine) LoadIntoCache(ctx *Ctx, p pages.PageID, access pages.Access) *p
 	nm := e.nodes[ctx.node]
 	nm.cache.Install(f)
 	e.cnt.AddPageFetches(1)
-	e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFetch, int64(p))
+	atomic.AddInt64(&e.runStats[ctx.node].Fetches, 1)
+	if e.tracer != nil {
+		e.traceEvent(ctx.clock.Now(), ctx.node, ctx.tid, trace.EvFetch, int64(p), int64(nm.cache.Len()))
+	}
 	if cap := e.costs.CacheCapacityPages; cap > 0 {
 		e.recordAndMaybeEvict(ctx, nm, p, cap)
 	}
@@ -224,6 +237,7 @@ func (e *Engine) recordAndMaybeEvict(ctx *Ctx, nm *nodeMem, p pages.PageID, capa
 	e.UpdateMainMemory(ctx)
 	if nm.cache.Drop(victim) {
 		e.cnt.AddInvalidations(1)
+		atomic.AddInt64(&e.runStats[ctx.node].InvalidatedPages, 1)
 		e.proto.OnInvalidate(ctx, 1)
 	}
 }
@@ -240,8 +254,9 @@ func (e *Engine) InvalidateCache(ctx *Ctx) int {
 	n := nm.cache.DropAll(nil)
 	ctx.invalidateFastPath()
 	e.cnt.AddInvalidations(int64(n))
+	atomic.AddInt64(&e.runStats[ctx.node].InvalidatedPages, int64(n))
 	e.proto.OnInvalidate(ctx, n)
-	e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvInvalidate, int64(n))
+	e.traceEvent(ctx.clock.Now(), ctx.node, ctx.tid, trace.EvInvalidate, int64(n), 0)
 	return n
 }
 
@@ -286,9 +301,15 @@ func (e *Engine) flushHomes(ctx *Ctx, batched bool) {
 		} else {
 			ctx.clock.Advance(vtime.Duration(float64(len(msg)) * e.costs.DiffPerByteCycles * float64(mach.Cycle())))
 		}
+		e.traceEvent(ctx.clock.Now(), ctx.node, ctx.tid, trace.EvFlush, int64(len(msg)), int64(home))
 		e.cl.Invoke(ctx.clock, ctx.node, home, svcApplyDiff, msg)
 		e.cnt.AddDiffMessage(int64(len(msg)))
-		e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFlush, int64(len(msg)))
+		ns := &e.runStats[ctx.node]
+		atomic.AddInt64(&ns.FlushMessages, 1)
+		atomic.AddInt64(&ns.FlushBytes, int64(len(msg)))
+		if batched {
+			atomic.AddInt64(&ns.BatchedFlushes, 1)
+		}
 	}
 }
 
@@ -326,6 +347,10 @@ func (e *Engine) RefreshCache(ctx *Ctx) int {
 			f.SetAccess(pages.ReadWrite)
 		}
 		e.cnt.AddPageFetches(1)
+		atomic.AddInt64(&e.runStats[ctx.node].Fetches, 1)
+		if e.tracer != nil {
+			e.traceEvent(ctx.clock.Now(), ctx.node, ctx.tid, trace.EvFetch, int64(p), int64(nm.cache.Len()))
+		}
 	}
 	return len(cached)
 }
@@ -357,6 +382,7 @@ func (e *Engine) handleApplyDiff(call *cluster.Call) []byte {
 	for _, s := range spans {
 		e.homeFrame(s.page).Write(s.off, s.data)
 	}
+	e.traceEvent(call.Clock.Now(), call.Node.ID(), trace.ServiceTID, trace.EvApply, int64(len(call.Arg)), int64(call.From))
 	return nil
 }
 
@@ -370,15 +396,18 @@ func (e *Engine) pageFaultAccess(ctx *Ctx, pg pages.PageID, isHome bool) *pages.
 	}
 	if f, _ := e.nodes[ctx.node].cache.Lookup(pg); f != nil && f.Access() == pages.ReadWrite {
 		e.cnt.AddCacheHits(1)
+		atomic.AddInt64(&e.runStats[ctx.node].CacheHits, 1)
 		return f
 	}
 	m := e.Machine()
 	ctx.clock.Advance(m.PageFault)
 	e.cnt.AddPageFaults(1)
-	e.traceEvent(ctx.clock.Now(), ctx.node, trace.EvFault, int64(pg))
+	atomic.AddInt64(&e.runStats[ctx.node].Faults, 1)
+	e.traceEvent(ctx.clock.Now(), ctx.node, ctx.tid, trace.EvFault, int64(pg), 0)
 	f := e.LoadIntoCache(ctx, pg, pages.ReadWrite)
 	ctx.clock.Advance(m.Mprotect)
 	e.cnt.AddMprotectCalls(1)
+	atomic.AddInt64(&e.runStats[ctx.node].MprotectCalls, 1)
 	return f
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/pages"
 	"repro/internal/vtime"
 )
@@ -84,6 +86,7 @@ func (p *JavaHLRC) OnInvalidate(ctx *Ctx, n int) {
 	m := p.eng.Machine()
 	ctx.clock.Advance(vtime.Duration(n) * m.Mprotect)
 	p.eng.cnt.AddMprotectCalls(int64(n))
+	atomic.AddInt64(&p.eng.runStats[ctx.node].MprotectCalls, int64(n))
 }
 
 // OnCtxClose implements Protocol: no per-access bookkeeping.

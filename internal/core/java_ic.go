@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/pages"
 	"repro/internal/vtime"
 )
@@ -48,6 +50,7 @@ func (p *JavaIC) Access(ctx *Ctx, pg pages.PageID, isHome bool) *pages.Frame {
 	ctx.clock.Advance(p.lookupCost)
 	if f, _ := p.eng.nodes[ctx.node].cache.Lookup(pg); f != nil {
 		p.eng.cnt.AddCacheHits(1)
+		atomic.AddInt64(&p.eng.runStats[ctx.node].CacheHits, 1)
 		return f
 	}
 	// Miss: bring the page in. Under java_ic the copy needs no
@@ -73,4 +76,5 @@ func (p *JavaIC) OnInvalidate(ctx *Ctx, n int) {
 // one locality check.
 func (p *JavaIC) OnCtxClose(ctx *Ctx) {
 	p.eng.cnt.AddLocalityChecks(ctx.accesses)
+	atomic.AddInt64(&p.eng.runStats[ctx.node].LocalityChecks, ctx.accesses)
 }

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/pi"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Engine macro-benchmarks: whole simulated runs per second, the unit the
+// sweep executor and experiment server schedule in. Each iteration is a
+// complete point — cluster construction, engine, runtime, heap, app
+// kernel, validation — so the number tracks end-to-end simulation
+// throughput, not any single hot loop. Baseline numbers live in
+// BENCH_engine.json at the repository root; reproduce with:
+//
+//	go test -run '^$' -bench 'Engine' -benchmem ./internal/harness/
+//
+// The app instances are the same scaled-down problems the executor and
+// conformance tests use, on the SCI platform at 2 nodes: small enough
+// for CI's -benchtime=1x smoke, large enough that the run cost is
+// dominated by simulated accesses rather than setup.
+func benchEngine(b *testing.B, makeApp func() apps.App, protocol string) {
+	b.Helper()
+	cfg := RunConfig{Cluster: model.SCI450(), Nodes: 2, Protocol: protocol}
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(makeApp(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Check.Valid {
+			b.Fatalf("%s under %s failed validation: %s", res.App, protocol, res.Check.Summary)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "points/sec")
+}
+
+func BenchmarkEnginePi(b *testing.B) {
+	for _, p := range core.ProtocolNames() {
+		b.Run(p, func(b *testing.B) {
+			benchEngine(b, func() apps.App { return pi.New(50_000) }, p)
+		})
+	}
+}
+
+func BenchmarkEngineJacobi(b *testing.B) {
+	for _, p := range core.ProtocolNames() {
+		b.Run(p, func(b *testing.B) {
+			benchEngine(b, func() apps.App { return jacobi.New(32, 4) }, p)
+		})
+	}
+}

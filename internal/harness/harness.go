@@ -48,6 +48,10 @@ type Result struct {
 	Time     vtime.Time
 	Check    apps.Check
 	Stats    stats.Snapshot
+	// RunStats is the engine's per-node counter report — the "why" behind
+	// Time. It serializes with the result into sweep caches and the
+	// experiment server's /v1/results.
+	RunStats core.RunStats `json:"run_stats"`
 	Messages int64
 	Bytes    int64
 }
@@ -103,6 +107,7 @@ func Run(app apps.App, cfg RunConfig) (Result, error) {
 		Time:     rt.LastEnd(),
 		Check:    check,
 		Stats:    cnt.Snapshot(),
+		RunStats: eng.RunStats(),
 		Messages: msgs,
 		Bytes:    bytes,
 	}, nil

@@ -54,8 +54,9 @@ func (m *Monitor) Enter(t *threads.Thread) {
 	mach := eng.Machine()
 	remote := t.Node() != m.home
 	eng.Cluster().Counters().AddMonitorAcquire(remote)
+	eng.NoteMonitorAcquire(t.Node(), remote)
 	if tr := eng.Tracer(); tr != nil {
-		tr.Record(t.Now(), t.Node(), trace.EvMonitorEnter, int64(m.home))
+		tr.Record(trace.Event{At: t.Now(), Node: t.Node(), TID: t.Ctx().TID(), Kind: trace.EvMonitorEnter, Arg: int64(m.home)})
 	}
 
 	if !remote {
@@ -157,6 +158,9 @@ func (b *Barrier) Await(t *threads.Thread) {
 	if t.Node() != b.home {
 		_, back = net.Send(b.home, t.Node(), lockMsgBytes, release)
 	}
+	// The gap from finishing our own release work to the broadcast's
+	// arrival is time spent blocked on the barrier's other parties.
+	eng.NoteBarrierWait(t.Node(), back.Sub(t.Now()))
 	t.Clock().AdvanceTo(back)
 
 	// Acquire: next phase starts from a clean cache.

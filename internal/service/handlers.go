@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -22,18 +23,28 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/sweeps            list jobs
 //	GET  /v1/sweeps/{id}       job status + partial results
 //	GET  /v1/sweeps/{id}/events  SSE: one event per completed point
+//	GET  /v1/sweeps/{id}/trace   Perfetto trace of one traced point
 //	GET  /v1/results           query the result cache by axis
 //	GET  /healthz              liveness
 //	GET  /metrics              text-format operational counters
+//	GET  /debug/pprof/...      Go profiler (only with Config.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/results", s.handleResults)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -133,6 +144,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	s.metrics.sseSubscribers.Add(1)
+	defer s.metrics.sseSubscribers.Add(-1)
 
 	sent := 0
 	for {
@@ -167,6 +180,36 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleTrace serves the Perfetto (Chrome trace-event JSON) rendering of
+// one point's recorded protocol trace. The point is selected by its
+// 0-based index in the job's point list (?point=N, default 0); 404 means
+// the point was not traced — the job's spec lacked "trace": true, the
+// point hit the cache, or it has not executed yet.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	point := 0
+	if v := r.URL.Query().Get("point"); v != "" {
+		var err error
+		if point, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad point %q", v)
+			return
+		}
+	}
+	buf := j.pointTrace(point)
+	if buf == nil {
+		writeError(w, http.StatusNotFound, "job %s has no trace for point %d (traced jobs need \"trace\": true in the spec; cache hits carry no trace)", j.id, point)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-point%d.trace.json", j.id, point)))
+	buf.WritePerfetto(w) //nolint:errcheck // the client is gone if this fails
 }
 
 // handleResults queries the content-addressed result cache. Filters

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // State is a job's lifecycle position.
@@ -193,6 +194,17 @@ func (j *Job) appendEventLocked(e Event) {
 	j.events = append(j.events, e)
 	close(j.update)
 	j.update = make(chan struct{})
+}
+
+// pointTrace returns the protocol-event ring recorded for point i, or
+// nil if the point is out of range, unresolved, or was not traced.
+func (j *Job) pointTrace(i int) *trace.Buffer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < 0 || i >= len(j.results) || j.results[i] == nil {
+		return nil
+	}
+	return j.results[i].Trace
 }
 
 // eventsSince returns a copy of the events after index from (0-based),

@@ -2,8 +2,11 @@ package service
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -11,8 +14,10 @@ import (
 // metrics is the server's operational instrumentation, exported in
 // Prometheus text form on GET /metrics. Counters come from
 // internal/stats; the latency histogram tracks per-point host wall-clock
-// execution time (cache hits and coalesced points cost no simulation and
-// are excluded).
+// execution time, labeled by protocol (cache hits and coalesced points
+// cost no simulation and are excluded). The exposition also carries the
+// Go runtime's own health signals so a scrape sees the server process,
+// not just the experiment pipeline.
 type metrics struct {
 	jobsSubmitted stats.Counter
 	jobsRunning   stats.Counter // gauge
@@ -27,11 +32,27 @@ type metrics struct {
 	pointsFailed    stats.Counter
 	pointsCanceled  stats.Counter
 
-	pointLatency *stats.Histogram
+	sseSubscribers stats.Counter // gauge
+
+	latencyMu    sync.Mutex
+	pointLatency map[string]*stats.Histogram // by protocol
 }
 
 func newMetrics() *metrics {
-	return &metrics{pointLatency: stats.NewHistogram(stats.LatencyBounds()...)}
+	return &metrics{pointLatency: make(map[string]*stats.Histogram)}
+}
+
+// observePoint records one executed point's host wall-clock latency under
+// its protocol label.
+func (m *metrics) observePoint(protocol string, seconds float64) {
+	m.latencyMu.Lock()
+	h := m.pointLatency[protocol]
+	if h == nil {
+		h = stats.NewHistogram(stats.LatencyBounds()...)
+		m.pointLatency[protocol] = h
+	}
+	m.latencyMu.Unlock()
+	h.Observe(seconds)
 }
 
 // render writes the text exposition. queueDepth is sampled by the caller
@@ -43,6 +64,9 @@ func (m *metrics) render(queueDepth int) string {
 	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counterFloat := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
 
 	counter("hyperion_jobs_submitted_total", "Sweep jobs admitted to the queue.", m.jobsSubmitted.Value())
@@ -60,15 +84,41 @@ func (m *metrics) render(queueDepth int) string {
 	counter("hyperion_points_failed_total", "Grid points that failed.", m.pointsFailed.Value())
 	counter("hyperion_points_canceled_total", "Grid points canceled by shutdown.", m.pointsCanceled.Value())
 
-	s := m.pointLatency.Snapshot()
-	name := "hyperion_point_seconds"
-	fmt.Fprintf(&b, "# HELP %s Host wall-clock latency of executed points.\n# TYPE %s histogram\n", name, name)
-	cum := s.Cumulative()
-	for i, bound := range s.Bounds {
-		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), cum[i])
+	gauge("hyperion_sse_subscribers", "Event streams currently attached.", m.sseSubscribers.Value())
+
+	// Per-protocol latency histogram, protocols in sorted order for a
+	// stable exposition.
+	m.latencyMu.Lock()
+	protos := make([]string, 0, len(m.pointLatency))
+	for p := range m.pointLatency {
+		protos = append(protos, p)
 	}
-	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
-	fmt.Fprintf(&b, "%s_sum %g\n", name, s.Sum)
-	fmt.Fprintf(&b, "%s_count %d\n", name, s.Count)
+	sort.Strings(protos)
+	snaps := make([]stats.HistogramSnapshot, len(protos))
+	for i, p := range protos {
+		snaps[i] = m.pointLatency[p].Snapshot()
+	}
+	m.latencyMu.Unlock()
+	name := "hyperion_point_seconds"
+	fmt.Fprintf(&b, "# HELP %s Host wall-clock latency of executed points, by protocol.\n# TYPE %s histogram\n", name, name)
+	for i, p := range protos {
+		s := snaps[i]
+		cum := s.Cumulative()
+		for j, bound := range s.Bounds {
+			fmt.Fprintf(&b, "%s_bucket{protocol=%q,le=%q} %d\n", name, p, strconv.FormatFloat(bound, 'g', -1, 64), cum[j])
+		}
+		fmt.Fprintf(&b, "%s_bucket{protocol=%q,le=\"+Inf\"} %d\n", name, p, cum[len(cum)-1])
+		fmt.Fprintf(&b, "%s_sum{protocol=%q} %g\n", name, p, s.Sum)
+		fmt.Fprintf(&b, "%s_count{protocol=%q} %d\n", name, p, s.Count)
+	}
+
+	// Go runtime health: is the server process itself okay?
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("go_goroutines", "Goroutines currently live.", int64(runtime.NumGoroutine()))
+	gauge("go_memstats_heap_alloc_bytes", "Heap bytes allocated and in use.", int64(ms.HeapAlloc))
+	gauge("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.", int64(ms.HeapSys))
+	counter("go_gc_cycles_total", "Completed garbage-collection cycles.", int64(ms.NumGC))
+	counterFloat("go_gc_pause_seconds_total", "Cumulative stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9)
 	return b.String()
 }

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// TestServerTraceEndpoint covers the per-job trace download: a job
+// submitted with "trace": true serves a valid Chrome trace for each
+// executed point, and every way a point can lack a trace maps to 404.
+func TestServerTraceEndpoint(t *testing.T) {
+	s := newServer(t, Config{Workers: 2, NewApp: testApps, TraceCapacity: 1 << 12})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts.URL, `{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_pf"],"nodes":[2],"trace":true}`)
+	waitTerminal(t, ts.URL, id)
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace download: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, ".trace.json") {
+		t.Errorf("content-disposition %q", cd)
+	}
+	if err := trace.ValidateChromeTrace(body); err != nil {
+		t.Fatalf("downloaded trace invalid: %v", err)
+	}
+
+	for path, want := range map[string]int{
+		"/v1/sweeps/" + id + "/trace?point=99": http.StatusNotFound,
+		"/v1/sweeps/" + id + "/trace?point=x":  http.StatusBadRequest,
+		"/v1/sweeps/no-such-job/trace":         http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// A job whose spec does not opt in records nothing.
+	plain := submit(t, ts.URL, `{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_ic"],"nodes":[2]}`)
+	waitTerminal(t, ts.URL, plain)
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + plain + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced job trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerPprofGate: the profiler surface exists only when explicitly
+// enabled — it exposes stacks and must not leak into default deployments.
+func TestServerPprofGate(t *testing.T) {
+	off := newServer(t, Config{Workers: 1, NewApp: testApps})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	resp, err := http.Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	on := newServer(t, Config{Workers: 1, NewApp: testApps, EnablePprof: true})
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	resp, err = http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof on: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%s", body)
+	}
+}
+
+// rawRunStats plucks the run_stats JSON subtree out of a serialized
+// result, preserving its exact field content and order.
+type rawRunStats struct {
+	Result struct {
+		RunStats json.RawMessage `json:"run_stats"`
+	} `json:"result"`
+}
+
+// TestRunStatsIdenticalAcrossSurfaces is the cross-surface acceptance
+// test: the counters a run produced must read back byte-for-byte the
+// same from the on-disk cache entry, from GET /v1/results, and (as the
+// per-counter totals) from a CSV rendering of the same point.
+func TestRunStatsIdenticalAcrossSurfaces(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "results")
+	cache, err := sweep.OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(t, Config{Workers: 2, NewApp: testApps, Cache: cache})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts.URL, `{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_pf"],"nodes":[2]}`)
+	waitTerminal(t, ts.URL, id)
+
+	// Surface 1: the cache entry on disk.
+	var diskRaw json.RawMessage
+	err = filepath.WalkDir(cacheDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var e rawRunStats
+		if err := json.Unmarshal(data, &e); err != nil {
+			return err
+		}
+		diskRaw = e.Result.RunStats
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diskRaw) == 0 {
+		t.Fatal("no cache entry with run_stats on disk")
+	}
+
+	// Surface 2: the cache query API.
+	resp, err := http.Get(ts.URL + "/v1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/results: status %d, err %v", resp.StatusCode, err)
+	}
+	var api struct {
+		Results []rawRunStats `json:"results"`
+	}
+	if err := json.Unmarshal(apiBody, &api); err != nil {
+		t.Fatal(err)
+	}
+	if len(api.Results) != 1 {
+		t.Fatalf("%d cached results, want 1", len(api.Results))
+	}
+	apiRaw := api.Results[0].Result.RunStats
+
+	compact := func(raw json.RawMessage) string {
+		var b bytes.Buffer
+		if err := json.Compact(&b, raw); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := compact(diskRaw), compact(apiRaw); a != b {
+		t.Errorf("run_stats differ between cache file and /v1/results:\ndisk %s\napi  %s", a, b)
+	}
+
+	// Surface 3: CSV counter cells against the same JSON totals.
+	var typed struct {
+		Results []sweep.CachedPoint `json:"results"`
+	}
+	if err := json.Unmarshal(apiBody, &typed); err != nil {
+		t.Fatal(err)
+	}
+	var totals struct {
+		Total map[string]int64 `json:"total"`
+	}
+	if err := json.Unmarshal(diskRaw, &totals); err != nil {
+		t.Fatal(err)
+	}
+	names := core.NodeStatNames()
+	pr := sweep.PointResult{Point: typed.Results[0].Point, Result: typed.Results[0].Result}
+	cells := strings.Split(sweep.CSVRowFor(pr, names), ",")
+	counters := cells[len(cells)-len(names):]
+	nonZero := false
+	for i, name := range names {
+		if want := strconv.FormatInt(totals.Total[name], 10); counters[i] != want {
+			t.Errorf("CSV %s = %s, cache total %s", name, counters[i], want)
+		}
+		if totals.Total[name] != 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Error("every counter is zero — the surfaces agree vacuously")
+	}
+}

@@ -55,6 +55,15 @@ type Config struct {
 	// tests and embedders serving custom workloads. See
 	// sweep.Executor.NewApp for the cache-identity caveat.
 	NewApp func(name string, paperScale bool) (apps.App, error)
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// service handler. Off by default: the profiler exposes stack traces
+	// and should only face operators.
+	EnablePprof bool
+	// TraceCapacity sizes the protocol-event ring attached to each
+	// executed point of jobs whose spec sets "trace": true; <= 0 selects
+	// the trace package's default capacity. Traces are downloadable per
+	// point via GET /v1/sweeps/{id}/trace?point=N.
+	TraceCapacity int
 }
 
 // Common submission errors, mapped to HTTP statuses by the handlers.
@@ -269,11 +278,19 @@ func (s *Server) runJob(j *Job) {
 		// no lock. It keeps the running-points gauge exact: only points
 		// that actually started decrement it, however they end.
 		startedKeys := make(map[string]bool, len(leadIdx))
+		traceCap := 0
+		if j.spec.Trace {
+			traceCap = s.cfg.TraceCapacity
+			if traceCap <= 0 {
+				traceCap = 1 << 16
+			}
+		}
 		x := &sweep.Executor{
-			Workers: s.cfg.Workers,
-			Cache:   s.cfg.Cache,
-			NewApp:  s.cfg.NewApp,
-			Cancel:  s.stop,
+			Workers:       s.cfg.Workers,
+			Cache:         s.cfg.Cache,
+			NewApp:        s.cfg.NewApp,
+			Cancel:        s.stop,
+			TraceCapacity: traceCap,
 			OnStart: func(p sweep.Point) {
 				startedKeys[p.Key()] = true
 				s.metrics.pointsRunning.Add(1)
@@ -326,7 +343,7 @@ func (s *Server) recordPoint(j *Job, i int, pr sweep.PointResult, coalesced bool
 	switch status {
 	case "executed":
 		s.metrics.pointsExecuted.Inc()
-		s.metrics.pointLatency.Observe(pr.Elapsed.Seconds())
+		s.metrics.observePoint(pr.Point.Protocol, pr.Elapsed.Seconds())
 	case "cached":
 		s.metrics.pointsCached.Inc()
 	case "coalesced":

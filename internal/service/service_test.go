@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps/asp"
 	"repro/internal/apps/jacobi"
 	"repro/internal/jmm"
+	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/threads"
 )
@@ -160,7 +161,8 @@ func readSSE(t *testing.T, base, id string) []Event {
 	return nil
 }
 
-// metricValue scrapes one metric from /metrics.
+// metricValue scrapes one metric from /metrics, summing over label sets
+// (so a per-protocol histogram count aggregates across protocols).
 func metricValue(t *testing.T, base, name string) float64 {
 	t.Helper()
 	resp, err := http.Get(base + "/metrics")
@@ -168,19 +170,33 @@ func metricValue(t *testing.T, base, name string) float64 {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	var sum float64
+	found := false
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, name+" "); ok {
-			v, err := strconv.ParseFloat(rest, 64)
-			if err != nil {
-				t.Fatalf("metric %s: bad value %q", name, rest)
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			if labeled, lok := strings.CutPrefix(line, name+"{"); lok {
+				if _, val, vok := strings.Cut(labeled, "} "); vok {
+					rest, ok = val, true
+				}
 			}
-			return v
 		}
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad value %q", name, rest)
+		}
+		sum += v
+		found = true
 	}
-	t.Fatalf("metric %s not exposed", name)
-	return 0
+	if !found {
+		t.Fatalf("metric %s not exposed", name)
+	}
+	return sum
 }
 
 // TestServerEndToEnd is the acceptance flow: a real listener, the same
@@ -615,25 +631,95 @@ func closedChan() <-chan struct{} {
 	return ch
 }
 
-// TestMetricsRenderShape sanity-checks the exposition format directly.
+// TestMetricsRenderShape sanity-checks the exposition format directly:
+// counters and gauges carry their TYPE lines, the latency histogram is
+// labeled by protocol, and the runtime block is present.
 func TestMetricsRenderShape(t *testing.T) {
 	m := newMetrics()
 	m.jobsSubmitted.Inc()
-	m.pointLatency.Observe(0.002)
+	m.observePoint("java_pf", 0.002)
+	m.observePoint("java_ic", 0.1)
 	text := m.render(3)
 	for _, want := range []string{
 		"# TYPE hyperion_jobs_submitted_total counter",
 		"hyperion_jobs_submitted_total 1",
 		"hyperion_queue_depth 3",
-		`hyperion_point_seconds_bucket{le="0.003"} 1`,
-		`hyperion_point_seconds_bucket{le="+Inf"} 1`,
-		"hyperion_point_seconds_count 1",
+		"hyperion_sse_subscribers 0",
+		`hyperion_point_seconds_bucket{protocol="java_pf",le="0.003"} 1`,
+		`hyperion_point_seconds_bucket{protocol="java_pf",le="+Inf"} 1`,
+		`hyperion_point_seconds_count{protocol="java_pf"} 1`,
+		`hyperion_point_seconds_count{protocol="java_ic"} 1`,
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_gc_cycles_total counter",
+		"go_memstats_heap_alloc_bytes ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)
 		}
 	}
-	if bytes.Count([]byte(text), []byte("hyperion_point_seconds_bucket")) != len(m.pointLatency.Snapshot().Bounds)+1 {
-		t.Error("bucket line count mismatch")
+	perProto := len(stats.LatencyBounds()) + 1
+	if got := bytes.Count([]byte(text), []byte("hyperion_point_seconds_bucket")); got != 2*perProto {
+		t.Errorf("bucket line count %d, want %d", got, 2*perProto)
+	}
+}
+
+// TestMetricsEveryMetricHasTypeLine walks the full exposition and
+// asserts every sample's metric family is preceded by exactly one # TYPE
+// line naming it — gauges declared as gauges, counters as counters (the
+// regression this guards: gauges silently rendered under a counter
+// TYPE).
+func TestMetricsEveryMetricHasTypeLine(t *testing.T) {
+	m := newMetrics()
+	m.observePoint("java_pf", 0.002)
+	text := m.render(0)
+	types := map[string]string{} // family -> declared type
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[fields[2]]; dup {
+				t.Errorf("family %s declared twice", fields[2])
+			}
+			types[fields[2]] = fields[3]
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suffix); ok && types[f] == "histogram" {
+				family = f
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			t.Errorf("sample %q has no TYPE line (family %s)", line, family)
+		}
+	}
+	// Spot-check the declared types: _total families are counters,
+	// point-in-time families are gauges.
+	wantTypes := map[string]string{
+		"hyperion_jobs_submitted_total": "counter",
+		"hyperion_jobs_running":         "gauge",
+		"hyperion_queue_depth":          "gauge",
+		"hyperion_points_running":       "gauge",
+		"hyperion_sse_subscribers":      "gauge",
+		"hyperion_point_seconds":        "histogram",
+		"go_goroutines":                 "gauge",
+		"go_gc_cycles_total":            "counter",
+		"go_gc_pause_seconds_total":     "counter",
+	}
+	for fam, want := range wantTypes {
+		if types[fam] != want {
+			t.Errorf("family %s declared %q, want %q", fam, types[fam], want)
+		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // The aggregate layer reduces raw sweep results to the quantities the
@@ -264,33 +266,126 @@ func BestConfigs(results []PointResult) []Best {
 
 // --- rendering -----------------------------------------------------------
 
-// CSVHeader is the column set of WriteCSV, a superset of the
-// hyperion-bench grid columns.
+// CSVHeader is the default column set of WriteCSV, a superset of the
+// hyperion-bench grid columns: the fixed identity/outcome prefix plus
+// the four legacy counter columns (DefaultCSVColumns).
 const CSVHeader = "app,cluster,nodes,tpn,protocol,label,seconds,valid,cached,messages,bytes,checks,faults,mprotects,fetches"
+
+// csvBase is the fixed prefix of every CSV row: point identity plus run
+// outcome. Counter columns are appended after it.
+const csvBase = "app,cluster,nodes,tpn,protocol,label,seconds,valid,cached,messages,bytes"
+
+// csvAliases maps the legacy short column names (the pre-RunStats CSV
+// columns) to their engine counter. Both spellings are accepted by
+// ParseCSVColumns; the header echoes whichever the caller used.
+var csvAliases = map[string]string{
+	"checks":    "locality_checks",
+	"faults":    "faults",
+	"mprotects": "mprotect_calls",
+	"fetches":   "fetches",
+}
+
+// DefaultCSVColumns is the counter column set of CSVHeader, in order —
+// what a nil column selection renders.
+func DefaultCSVColumns() []string {
+	return []string{"checks", "faults", "mprotects", "fetches"}
+}
+
+// ParseCSVColumns resolves a -columns flag value: "" selects nil (the
+// default column set), "all" selects every RunStats counter, and
+// anything else is a comma-separated list of counter names
+// (core.NodeStatNames) or legacy aliases (checks, faults, mprotects,
+// fetches), validated loudly.
+func ParseCSVColumns(list string) ([]string, error) {
+	switch strings.TrimSpace(list) {
+	case "":
+		return nil, nil
+	case "all":
+		return core.NodeStatNames(), nil
+	}
+	var out []string
+	for _, c := range strings.Split(list, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		name := c
+		if a, ok := csvAliases[c]; ok {
+			name = a
+		}
+		if _, ok := (core.NodeStats{}).Get(name); !ok {
+			return nil, fmt.Errorf("sweep: unknown CSV column %q (have %s, plus aliases checks, faults, mprotects, fetches)",
+				c, strings.Join(core.NodeStatNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: empty CSV column list %q", list)
+	}
+	return out, nil
+}
+
+// CSVHeaderFor renders the header of a column selection; nil selects the
+// default set, so CSVHeaderFor(nil) == CSVHeader.
+func CSVHeaderFor(cols []string) string {
+	if cols == nil {
+		cols = DefaultCSVColumns()
+	}
+	if len(cols) == 0 {
+		return csvBase
+	}
+	return csvBase + "," + strings.Join(cols, ",")
+}
+
+// CSVRowFor renders one point result under a column selection (no
+// trailing newline). Counter values come from the run's aggregated
+// RunStats — the same numbers the cache and /v1/results carry.
+func CSVRowFor(pr PointResult, cols []string) string {
+	if cols == nil {
+		cols = DefaultCSVColumns()
+	}
+	r := pr.Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,%s,%d,%d,%s,%s,%.9f,%v,%v,%d,%d",
+		pr.Point.App, pr.Point.Cluster, pr.Point.Nodes, pr.Point.ThreadsPerNode,
+		pr.Point.Protocol, pr.Point.Override.Label, r.Seconds(), r.Check.Valid, pr.Cached,
+		r.Messages, r.Bytes)
+	for _, c := range cols {
+		name := c
+		if a, ok := csvAliases[c]; ok {
+			name = a
+		}
+		v, _ := r.RunStats.Total.Get(name)
+		fmt.Fprintf(&b, ",%d", v)
+	}
+	return b.String()
+}
 
 // CSVRow renders one successful point result as a CSVHeader row (no
 // trailing newline). The streaming writers in cmd/hyperion-sweep emit
 // rows one at a time through this as points complete.
 func CSVRow(pr PointResult) string {
-	r := pr.Result
-	return fmt.Sprintf("%s,%s,%d,%d,%s,%s,%.9f,%v,%v,%d,%d,%d,%d,%d,%d",
-		pr.Point.App, pr.Point.Cluster, pr.Point.Nodes, pr.Point.ThreadsPerNode,
-		pr.Point.Protocol, pr.Point.Override.Label, r.Seconds(), r.Check.Valid, pr.Cached,
-		r.Messages, r.Bytes, r.Stats.LocalityChecks, r.Stats.PageFaults,
-		r.Stats.MprotectCalls, r.Stats.PageFetches)
+	return CSVRowFor(pr, nil)
 }
 
-// WriteCSV renders results (in their given order) as CSV. Failed points
-// are skipped; use Outcome.Err to surface them.
+// WriteCSV renders results (in their given order) as CSV with the
+// default columns. Failed points are skipped; use Outcome.Err to
+// surface them.
 func WriteCSV(w io.Writer, results []PointResult) error {
-	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+	return WriteCSVColumns(w, results, nil)
+}
+
+// WriteCSVColumns is WriteCSV under an explicit column selection (nil =
+// default).
+func WriteCSVColumns(w io.Writer, results []PointResult, cols []string) error {
+	if _, err := fmt.Fprintln(w, CSVHeaderFor(cols)); err != nil {
 		return err
 	}
 	for _, pr := range results {
 		if pr.Err != nil {
 			continue
 		}
-		if _, err := fmt.Fprintln(w, CSVRow(pr)); err != nil {
+		if _, err := fmt.Fprintln(w, CSVRowFor(pr, cols)); err != nil {
 			return err
 		}
 	}

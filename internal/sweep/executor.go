@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/harness"
+	"repro/internal/trace"
 )
 
 // Executor schedules expanded grid points onto the harness worker pool.
@@ -41,6 +42,12 @@ type Executor struct {
 	// Combined with a Cache this is the graceful-shutdown story: what
 	// drained is kept, what was canceled re-executes on resubmission.
 	Cancel <-chan struct{}
+	// TraceCapacity, when > 0, attaches a protocol-event ring of that
+	// many events to the *first* repeat of every executed point and
+	// returns it on PointResult.Trace. Tracing observes the run without
+	// perturbing virtual time, so the traced repeat measures the same as
+	// the others. Cache hits carry no trace (nothing re-executes).
+	TraceCapacity int
 }
 
 // PointResult pairs a grid point with its outcome.
@@ -56,6 +63,10 @@ type PointResult struct {
 	// Elapsed is the host wall-clock time spent executing the point
 	// (summed over repeats). Zero for cache hits.
 	Elapsed time.Duration
+	// Trace is the protocol-event ring recorded for the point's first
+	// repeat when the executor's TraceCapacity is set. Nil for cache
+	// hits and untraced runs; excluded from JSON and the result cache.
+	Trace *trace.Buffer `json:"-"`
 }
 
 // Outcome is the result of one sweep: per-point results in expansion
@@ -165,9 +176,16 @@ func (x *Executor) RunPoints(points []Point) (*Outcome, error) {
 			n = 1
 		}
 		reps[i] = make([]harness.JobResult, 0, n)
+		if x.TraceCapacity > 0 {
+			pr.Trace = trace.NewBuffer(x.TraceCapacity)
+		}
 		out.Points[i] = pr
 		for r := 0; r < n; r++ {
-			jobs = append(jobs, harness.Job{MakeApp: mk, Config: cfg})
+			jcfg := cfg
+			if r == 0 {
+				jcfg.Tracer = pr.Trace
+			}
+			jobs = append(jobs, harness.Job{MakeApp: mk, Config: jcfg})
 			refs = append(refs, job{point: i, rep: r})
 		}
 	}

@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+func TestParseCSVColumns(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{in: "", want: nil},
+		{in: "  ", want: nil},
+		{in: "all", want: core.NodeStatNames()},
+		{in: "faults,flush_bytes", want: []string{"faults", "flush_bytes"}},
+		// Legacy aliases survive with the caller's spelling.
+		{in: "checks, mprotects", want: []string{"checks", "mprotects"}},
+		{in: "bogus_counter", err: true},
+		{in: "faults,,", want: []string{"faults"}},
+		{in: ",,", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseCSVColumns(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseCSVColumns(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCSVColumns(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseCSVColumns(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCSVHeaderForDefault pins the compatibility contract: a nil column
+// selection renders exactly the historical header, so every consumer of
+// the default CSV shape keeps parsing.
+func TestCSVHeaderForDefault(t *testing.T) {
+	if got := CSVHeaderFor(nil); got != CSVHeader {
+		t.Errorf("CSVHeaderFor(nil) = %q, want CSVHeader %q", got, CSVHeader)
+	}
+	if got := CSVHeaderFor([]string{"flush_bytes"}); got != csvBase+",flush_bytes" {
+		t.Errorf("explicit header = %q", got)
+	}
+	if got := CSVHeaderFor([]string{}); got != csvBase {
+		t.Errorf("empty selection header = %q", got)
+	}
+}
+
+// TestCSVRowForRendersRunStats checks the counter cells come from the
+// run's RunStats totals, resolving aliases the same way the header does.
+func TestCSVRowForRendersRunStats(t *testing.T) {
+	pr := PointResult{
+		Point: Point{App: "jacobi", Cluster: "sci", Protocol: "java_pf", Nodes: 2, ThreadsPerNode: 1},
+		Result: harness.Result{
+			RunStats: core.RunStats{Total: core.NodeStats{
+				Faults: 7, LocalityChecks: 11, MprotectCalls: 3, Fetches: 5, FlushBytes: 4096,
+			}},
+		},
+	}
+	row := CSVRowFor(pr, nil)
+	if !strings.HasSuffix(row, ",11,7,3,5") { // checks,faults,mprotects,fetches
+		t.Errorf("default row %q does not end with alias counters", row)
+	}
+	row = CSVRowFor(pr, []string{"flush_bytes", "mprotects"})
+	if !strings.HasSuffix(row, ",4096,3") {
+		t.Errorf("selected row %q", row)
+	}
+	if got, want := strings.Count(row, ","), strings.Count(CSVHeaderFor([]string{"flush_bytes", "mprotects"}), ","); got != want {
+		t.Errorf("row has %d commas, header %d", got, want)
+	}
+}
+
+// TestExecutorAttachesTrace: with TraceCapacity set, every executed
+// point comes back with a populated event ring from its first repeat;
+// without it, Trace stays nil and nothing is recorded.
+func TestExecutorAttachesTrace(t *testing.T) {
+	spec := Spec{
+		Apps: []string{"jacobi"}, Clusters: []string{"sci"},
+		Protocols: []string{"java_pf"}, Nodes: []int{2}, Repeats: 2,
+	}
+	out, err := (&Executor{Workers: 2, NewApp: tinyApps, TraceCapacity: 1 << 12}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	pr := out.Points[0]
+	if pr.Trace == nil {
+		t.Fatal("executed point has no trace")
+	}
+	if pr.Trace.Len() == 0 {
+		t.Fatal("trace ring is empty after a 2-node jacobi run")
+	}
+	// The ring must render to a valid Chrome trace end to end.
+	var b strings.Builder
+	if err := pr.Trace.WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChromeTrace([]byte(b.String())); err != nil {
+		t.Fatalf("executor trace fails validation: %v", err)
+	}
+
+	// Tracing must not perturb the measurement: the traced run's Result
+	// is identical to an untraced run of the same point.
+	plain, err := (&Executor{Workers: 2, NewApp: tinyApps}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Points[0].Trace != nil {
+		t.Error("untraced executor attached a trace")
+	}
+	if !reflect.DeepEqual(plain.Points[0].Result, pr.Result) {
+		t.Errorf("tracing changed the result:\ntraced   %+v\nuntraced %+v", pr.Result, plain.Points[0].Result)
+	}
+}
+
+// TestCacheRoundTripPreservesRunStats is the byte-identity half of the
+// observability contract at the sweep layer: counters survive the disk
+// round trip exactly, and cache hits carry no trace.
+func TestCacheRoundTripPreservesRunStats(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Apps: []string{"jacobi"}, Clusters: []string{"sci"},
+		Protocols: []string{"java_ic", "java_pf"}, Nodes: []int{2},
+	}
+	first, err := (&Executor{Workers: 2, Cache: cache, NewApp: tinyApps, TraceCapacity: 1 << 12}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Err(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := (&Executor{Workers: 2, Cache: cache, NewApp: tinyApps, TraceCapacity: 1 << 12}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != len(first.Points) {
+		t.Fatalf("second pass: %d cache hits, want %d", second.CacheHits, len(first.Points))
+	}
+	for i := range first.Points {
+		a, b := first.Points[i].Result.RunStats, second.Points[i].Result.RunStats
+		if a.Total == (core.NodeStats{}) {
+			t.Errorf("point %d: executed run recorded no counters", i)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("point %d: RunStats changed across the cache:\nstored %+v\nloaded %+v", i, a, b)
+		}
+		if second.Points[i].Trace != nil {
+			t.Errorf("point %d: cache hit carries a trace", i)
+		}
+	}
+}

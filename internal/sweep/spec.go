@@ -47,6 +47,11 @@ type Spec struct {
 	// ablations (check cost, fault cost, page size, cache capacity)
 	// are expressed as sweeps.
 	Costs []Override `json:"costs,omitempty"`
+	// Trace asks the runner to record a protocol-event trace for the
+	// first repeat of each executed point (see Executor.TraceCapacity).
+	// It is an observability knob, not part of the experiment identity:
+	// it does not appear in Point and never affects cache keys.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Override adjusts the cost model of a grid point relative to the
@@ -205,7 +210,9 @@ const maxGridPoints = 1 << 16
 // simulation model changes in a way that invalidates cached results.
 // v2: shipping-time diff coalescing and deterministic per-home flush
 // order changed message sizes and virtual timings for every protocol.
-const cacheKeyVersion = "hyperion-sweep-v2"
+// v3: results carry the engine's RunStats counters; v2 entries decode
+// without them and would surface empty counters on every surface.
+const cacheKeyVersion = "hyperion-sweep-v3"
 
 // Key returns the point's content-addressed cache key: a hex SHA-256
 // over the canonicalized point. The override label is excluded — two

@@ -246,14 +246,16 @@ func (t *Thread) Migrate(node int) {
 	}
 	eng := t.rt.eng
 	eng.UpdateMainMemory(t.ctx)
-	_, delivered := eng.Cluster().Network().Send(t.Node(), node, t.rt.costs.MigrateStateBytes, t.Now())
+	origin := t.Node()
+	_, delivered := eng.Cluster().Network().Send(origin, node, t.rt.costs.MigrateStateBytes, t.Now())
+	if tr := eng.Tracer(); tr != nil {
+		tr.Record(trace.Event{At: t.Now(), Node: origin, TID: t.ctx.TID(), Kind: trace.EvMigrate, Arg: int64(node)})
+	}
 	t.ctx.MoveTo(node)
 	t.Clock().AdvanceTo(delivered)
 	t.migrations.Add(1)
 	eng.Cluster().Counters().AddMigrations(1)
-	if tr := eng.Tracer(); tr != nil {
-		tr.Record(t.Now(), t.Node(), trace.EvMigrate, int64(node))
-	}
+	eng.NoteMigration(origin)
 }
 
 // Migrations reports how many times the thread has migrated.

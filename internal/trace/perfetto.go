@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/vtime"
+)
+
+// Chrome trace-event export: one process per simulated node, one track
+// per simulated thread, flow arrows from each diff flush to its apply at
+// the home node, and a counter track per node for cached-page occupancy.
+// Virtual picoseconds map to trace microseconds (fractional ts keeps
+// sub-microsecond precision). The output loads in ui.perfetto.dev and
+// chrome://tracing.
+
+// serviceTrack is the tid the DSM-service track renders under; Perfetto
+// sorts it after the real thread tracks and it avoids negative tids,
+// which some trace viewers mishandle.
+const serviceTrack = 1 << 20
+
+// chromeEvent is one entry of the trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format.
+type chromeTrace struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+}
+
+// WritePerfetto renders the buffer as Chrome trace-event JSON.
+func (b *Buffer) WritePerfetto(w io.Writer) error {
+	return WritePerfetto(w, b.Events(), b.Dropped())
+}
+
+// WritePerfetto renders time-sorted events as Chrome trace-event JSON.
+// dropped is surfaced in the trace's otherData so a truncated ring is
+// visible in the viewer.
+func WritePerfetto(w io.Writer, events []Event, dropped int64) error {
+	ts := func(at vtime.Time) float64 { return vtime.Duration(at).Microseconds() }
+	tid := func(e Event) int64 {
+		if e.TID == ServiceTID {
+			return serviceTrack
+		}
+		return e.TID
+	}
+
+	out := make([]chromeEvent, 0, 2*len(events)+16)
+
+	// Metadata: name the per-node processes and the per-thread tracks.
+	type track struct {
+		node int
+		tid  int64
+	}
+	nodes := map[int]bool{}
+	tracks := map[track]bool{}
+	for _, e := range events {
+		nodes[e.Node] = true
+		tracks[track{e.Node, tid(e)}] = true
+	}
+	nodeList := make([]int, 0, len(nodes))
+	for n := range nodes {
+		nodeList = append(nodeList, n)
+	}
+	sort.Ints(nodeList)
+	for _, n := range nodeList {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: n,
+			Args: map[string]any{"name": fmt.Sprintf("node%d", n)},
+		})
+	}
+	trackList := make([]track, 0, len(tracks))
+	for t := range tracks {
+		trackList = append(trackList, t)
+	}
+	sort.Slice(trackList, func(i, j int) bool {
+		if trackList[i].node != trackList[j].node {
+			return trackList[i].node < trackList[j].node
+		}
+		return trackList[i].tid < trackList[j].tid
+	})
+	for _, t := range trackList {
+		name := fmt.Sprintf("thread %d", t.tid)
+		if t.tid == serviceTrack {
+			name = "dsm-service"
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: t.node, Tid: t.tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Flow pairing: the k-th flush from node s to home h matches the k-th
+	// apply at h from s — the flush RPCs of one sender-home pair are
+	// synchronous and in order, so FIFO matching is exact. An apply whose
+	// flush was overwritten in the ring gets no arrow.
+	type pair struct{ from, to int }
+	pending := map[pair][]int64{}
+	nextFlow := int64(1)
+	zero := 0.0
+
+	for _, e := range events {
+		ce := chromeEvent{Name: e.Kind.String(), Ph: "i", Cat: "dsm", Ts: ts(e.At), Pid: e.Node, Tid: tid(e), S: "t"}
+		switch e.Kind {
+		case EvFetch:
+			ce.Args = map[string]any{"page": e.Arg, "cached_pages": e.Aux}
+		case EvFault:
+			ce.Args = map[string]any{"page": e.Arg}
+		case EvInvalidate:
+			ce.Args = map[string]any{"dropped_pages": e.Arg}
+		case EvMonitorEnter:
+			ce.Args = map[string]any{"home": e.Arg}
+		case EvMigrate:
+			ce.Args = map[string]any{"to_node": e.Arg}
+		case EvFlush:
+			// A zero-duration slice so the flow start has something to
+			// bind to.
+			ce.Ph, ce.S, ce.Dur = "X", "", &zero
+			ce.Cat = "diff"
+			ce.Args = map[string]any{"bytes": e.Arg, "home": e.Aux}
+			out = append(out, ce)
+			id := nextFlow
+			nextFlow++
+			pending[pair{e.Node, int(e.Aux)}] = append(pending[pair{e.Node, int(e.Aux)}], id)
+			out = append(out, chromeEvent{
+				Name: "diff", Ph: "s", Cat: "diff", Ts: ts(e.At),
+				Pid: e.Node, Tid: tid(e), ID: strconv.FormatInt(id, 10),
+			})
+			continue
+		case EvApply:
+			ce.Ph, ce.S, ce.Dur = "X", "", &zero
+			ce.Cat = "diff"
+			ce.Args = map[string]any{"bytes": e.Arg, "from": e.Aux}
+			out = append(out, ce)
+			key := pair{int(e.Aux), e.Node}
+			if q := pending[key]; len(q) > 0 {
+				id := q[0]
+				pending[key] = q[1:]
+				out = append(out, chromeEvent{
+					Name: "diff", Ph: "f", BP: "e", Cat: "diff", Ts: ts(e.At),
+					Pid: e.Node, Tid: tid(e), ID: strconv.FormatInt(id, 10),
+				})
+			}
+			continue
+		}
+		out = append(out, ce)
+
+		// Cached-page occupancy as a per-node counter track.
+		switch e.Kind {
+		case EvFetch:
+			out = append(out, chromeEvent{
+				Name: "cached_pages", Ph: "C", Ts: ts(e.At), Pid: e.Node,
+				Args: map[string]any{"pages": e.Aux},
+			})
+		case EvInvalidate:
+			out = append(out, chromeEvent{
+				Name: "cached_pages", Ph: "C", Ts: ts(e.At), Pid: e.Node,
+				Args: map[string]any{"pages": 0},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"overwritten_events": strconv.FormatInt(dropped, 10)},
+		TraceEvents:     out,
+	})
+}
+
+// ValidateChromeTrace checks data against the subset of the Chrome
+// trace-event schema the exporter promises: a traceEvents array whose
+// entries carry name/ph/pid (plus tid and a numeric ts for non-metadata
+// events), with non-decreasing ts per (pid, tid) track. It is the check
+// CI runs on every emitted trace.
+func ValidateChromeTrace(data []byte) error {
+	var t struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if t.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	type track struct {
+		pid, tid float64
+	}
+	last := map[track]float64{}
+	for i, e := range t.TraceEvents {
+		ph, ok := e["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("trace: event %d: missing ph", i)
+		}
+		if _, ok := e["name"].(string); !ok {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		pid, ok := e["pid"].(float64)
+		if !ok {
+			return fmt.Errorf("trace: event %d: missing pid", i)
+		}
+		if ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		tid, ok := e["tid"].(float64)
+		if !ok {
+			return fmt.Errorf("trace: event %d: missing tid", i)
+		}
+		ts, ok := e["ts"].(float64)
+		if !ok {
+			return fmt.Errorf("trace: event %d: missing ts", i)
+		}
+		if ts < 0 {
+			return fmt.Errorf("trace: event %d: negative ts %g", i, ts)
+		}
+		k := track{pid, tid}
+		if prev, seen := last[k]; seen && ts < prev {
+			return fmt.Errorf("trace: event %d: ts %g before %g on track pid=%g tid=%g", i, ts, prev, pid, tid)
+		}
+		last[k] = ts
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// decodeTrace unmarshals exporter output for structural assertions.
+func decodeTrace(t *testing.T, data []byte) (events []map[string]any, other map[string]string) {
+	t.Helper()
+	var out struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+		TraceEvents     []map[string]any  `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	return out.TraceEvents, out.OtherData
+}
+
+func countPh(events []map[string]any, ph string) int {
+	n := 0
+	for _, e := range events {
+		if e["ph"] == ph {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWritePerfetto(t *testing.T) {
+	b := NewBuffer(64)
+	us := func(n float64) vtime.Time { return vtime.Time(vtime.Micro(n)) }
+	b.Record(Event{At: us(1), Node: 1, TID: 1, Kind: EvFault, Arg: 7})
+	b.Record(Event{At: us(2), Node: 1, TID: 1, Kind: EvFetch, Arg: 7, Aux: 3})
+	b.Record(Event{At: us(3), Node: 1, TID: 1, Kind: EvFlush, Arg: 128, Aux: 0})
+	b.Record(Event{At: us(4), Node: 0, TID: ServiceTID, Kind: EvApply, Arg: 128, Aux: 1})
+	b.Record(Event{At: us(5), Node: 1, TID: 1, Kind: EvInvalidate, Arg: 3})
+
+	var buf bytes.Buffer
+	if err := b.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exporter output fails its own validator: %v", err)
+	}
+	events, other := decodeTrace(t, buf.Bytes())
+	if other["overwritten_events"] != "0" {
+		t.Errorf("otherData = %v", other)
+	}
+
+	// One flow arrow: a start bound to the flush, a finish bound to the
+	// apply, with matching ids.
+	if countPh(events, "s") != 1 || countPh(events, "f") != 1 {
+		t.Fatalf("flow events: %d starts, %d finishes", countPh(events, "s"), countPh(events, "f"))
+	}
+	var startID, finishID any
+	for _, e := range events {
+		switch e["ph"] {
+		case "s":
+			startID = e["id"]
+		case "f":
+			finishID = e["id"]
+			if e["bp"] != "e" {
+				t.Errorf("flow finish missing bp=e: %v", e)
+			}
+		}
+	}
+	if startID == nil || startID != finishID {
+		t.Errorf("flow ids: start=%v finish=%v", startID, finishID)
+	}
+
+	// Counter track: fetch sets occupancy to Aux, invalidate resets to 0.
+	var counters []float64
+	for _, e := range events {
+		if e["ph"] == "C" {
+			if e["name"] != "cached_pages" {
+				t.Errorf("counter name %v", e["name"])
+			}
+			counters = append(counters, e["args"].(map[string]any)["pages"].(float64))
+		}
+	}
+	if len(counters) != 2 || counters[0] != 3 || counters[1] != 0 {
+		t.Errorf("counter samples = %v", counters)
+	}
+
+	// Metadata names both processes, and the service event lands on the
+	// dedicated dsm-service track rather than a negative tid.
+	var sawService bool
+	for _, e := range events {
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			if e["args"].(map[string]any)["name"] == "dsm-service" {
+				sawService = true
+				if e["tid"].(float64) != serviceTrack {
+					t.Errorf("service track tid = %v", e["tid"])
+				}
+			}
+		}
+		if tid, ok := e["tid"].(float64); ok && tid < 0 {
+			t.Errorf("negative tid in output: %v", e)
+		}
+	}
+	if !sawService {
+		t.Error("no dsm-service thread_name metadata")
+	}
+	// Two processes (node0, node1), each with one track.
+	if countPh(events, "M") != 4 {
+		t.Errorf("metadata events = %d", countPh(events, "M"))
+	}
+}
+
+func TestWritePerfettoUnmatchedApply(t *testing.T) {
+	// An apply whose flush was overwritten in the ring gets no arrow —
+	// the exporter must not emit a dangling flow finish.
+	b := NewBuffer(64)
+	b.Record(Event{At: 10, Node: 0, TID: ServiceTID, Kind: EvApply, Arg: 64, Aux: 1})
+	var buf bytes.Buffer
+	if err := b.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodeTrace(t, buf.Bytes())
+	if countPh(events, "f") != 0 || countPh(events, "s") != 0 {
+		t.Errorf("dangling flow events in %v", events)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePerfettoReportsOverwrites(t *testing.T) {
+	b := NewBuffer(1)
+	b.Record(Event{At: 1, Node: 0, Kind: EvFault})
+	b.Record(Event{At: 2, Node: 0, Kind: EvFault})
+	var buf bytes.Buffer
+	if err := b.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, other := decodeTrace(t, buf.Bytes())
+	if other["overwritten_events"] != "1" {
+		t.Errorf("otherData = %v", other)
+	}
+}
+
+func TestValidateChromeTrace(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string // substring of the error, "" for valid
+	}{
+		{"valid", `{"traceEvents":[{"name":"a","ph":"i","pid":0,"tid":1,"ts":1.5}]}`, ""},
+		{"valid metadata no ts", `{"traceEvents":[{"name":"process_name","ph":"M","pid":0}]}`, ""},
+		{"empty events", `{"traceEvents":[]}`, ""},
+		{"not json", `{`, "not valid JSON"},
+		{"missing array", `{}`, "missing traceEvents"},
+		{"missing ph", `{"traceEvents":[{"name":"a","pid":0}]}`, "missing ph"},
+		{"missing name", `{"traceEvents":[{"ph":"i","pid":0}]}`, "missing name"},
+		{"missing pid", `{"traceEvents":[{"name":"a","ph":"i"}]}`, "missing pid"},
+		{"missing tid", `{"traceEvents":[{"name":"a","ph":"i","pid":0,"ts":1}]}`, "missing tid"},
+		{"missing ts", `{"traceEvents":[{"name":"a","ph":"i","pid":0,"tid":0}]}`, "missing ts"},
+		{"negative ts", `{"traceEvents":[{"name":"a","ph":"i","pid":0,"tid":0,"ts":-1}]}`, "negative ts"},
+		{"time runs backwards on a track", `{"traceEvents":[
+			{"name":"a","ph":"i","pid":0,"tid":0,"ts":5},
+			{"name":"b","ph":"i","pid":0,"tid":0,"ts":4}]}`, "before"},
+		{"different tracks may interleave", `{"traceEvents":[
+			{"name":"a","ph":"i","pid":0,"tid":0,"ts":5},
+			{"name":"b","ph":"i","pid":0,"tid":1,"ts":4}]}`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateChromeTrace([]byte(tc.data))
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -2,7 +2,13 @@
 // producing the kind of timeline the Hyperion authors used to reason
 // about where java_ic's checks and java_pf's faults actually land during
 // a run. Tracing is off unless a Buffer is attached to the engine; the
-// hot path then pays one atomic load per event site.
+// hot path then pays one nil check per event site.
+//
+// The buffer is a bounded ring: once full it overwrites the oldest
+// events and counts the overwrites, so tracing stays safe (fixed memory)
+// on arbitrarily long runs while keeping the most recent window — the
+// part a timeline viewer usually needs. WritePerfetto renders the ring
+// as Chrome trace-event JSON loadable in ui.perfetto.dev.
 package trace
 
 import (
@@ -10,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vtime"
 )
@@ -18,23 +25,32 @@ import (
 type Kind uint8
 
 const (
-	// EvFetch is a page fetch from its home (loadIntoCache).
+	// EvFetch is a page fetch from its home (loadIntoCache). Arg is the
+	// page id, Aux the node's cached-page count after the install.
 	EvFetch Kind = iota
-	// EvFault is a simulated page fault (java_pf detection).
+	// EvFault is a simulated page fault (java_pf detection). Arg is the
+	// page id.
 	EvFault
-	// EvInvalidate is a cache invalidation (monitor entry), with the
-	// number of dropped pages in Arg.
+	// EvInvalidate is a cache invalidation (monitor entry). Arg is the
+	// number of dropped pages.
 	EvInvalidate
-	// EvFlush is an updateMainMemory diff message, with its byte size in
-	// Arg.
+	// EvFlush is an updateMainMemory diff message leaving a node. Arg is
+	// its byte size, Aux the home node it is addressed to.
 	EvFlush
-	// EvMonitorEnter is a monitor acquisition.
+	// EvMonitorEnter is a monitor acquisition. Arg is the monitor's home
+	// node.
 	EvMonitorEnter
-	// EvMigrate is a thread migration, with the destination node in Arg.
+	// EvMigrate is a thread migration, recorded on the origin node with
+	// the destination node in Arg.
 	EvMigrate
+	// EvApply is a diff message arriving at its home node (the
+	// svcApplyDiff handler). Arg is the byte size, Aux the sending node.
+	// Paired with the matching EvFlush it draws a flow arrow in the
+	// Perfetto export.
+	EvApply
 )
 
-var kindNames = [...]string{"fetch", "fault", "invalidate", "flush", "monitor-enter", "migrate"}
+var kindNames = [...]string{"fetch", "fault", "invalidate", "flush", "monitor-enter", "migrate", "apply"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -43,44 +59,62 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind#%d", uint8(k))
 }
 
+// ServiceTID is the TID recorded for events that happen inside an RPC
+// service handler (EvApply) rather than on a simulated thread: the
+// home node's DSM service, not any one thread, applies the diff.
+const ServiceTID int64 = -1
+
 // Event is one recorded protocol event.
 type Event struct {
 	At   vtime.Time
 	Node int
+	// TID identifies the simulated thread (one Perfetto track each);
+	// ServiceTID marks events of a node's DSM service handler.
+	TID  int64
 	Kind Kind
-	// Arg is event-specific: page id for fetch/fault, dropped count for
-	// invalidate, byte size for flush, destination for migrate.
+	// Arg and Aux are event-specific; see the Kind constants.
 	Arg int64
+	Aux int64
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("%-12v node%-2d %-13s %d", vtime.Duration(e.At), e.Node, e.Kind, e.Arg)
+	return fmt.Sprintf("%-12v node%-2d t%-3d %-13s %d", vtime.Duration(e.At), e.Node, e.TID, e.Kind, e.Arg)
 }
 
-// Buffer is a bounded, concurrency-safe event recorder. When full it
-// drops new events and counts them.
+// Buffer is a bounded, concurrency-safe event ring. When full it
+// overwrites the oldest events and counts them in Dropped, so the
+// buffer always holds the newest window of the run.
 type Buffer struct {
-	mu      sync.Mutex
-	events  []Event
-	cap     int
-	dropped int64
+	mu   sync.Mutex
+	buf  []Event // ring storage, fixed capacity
+	head int     // index of the oldest live event
+	n    int     // live events, <= len(buf)
+
+	dropped atomic.Int64
 }
 
-// NewBuffer creates a recorder holding at most capacity events.
+// NewBuffer creates a ring holding at most capacity events.
 func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &Buffer{events: make([]Event, 0, capacity), cap: capacity}
+	return &Buffer{buf: make([]Event, capacity)}
 }
 
-// Record appends an event if space remains.
-func (b *Buffer) Record(at vtime.Time, node int, kind Kind, arg int64) {
+// Record appends an event, overwriting the oldest one when the ring is
+// full.
+func (b *Buffer) Record(e Event) {
 	b.mu.Lock()
-	if len(b.events) < b.cap {
-		b.events = append(b.events, Event{At: at, Node: node, Kind: kind, Arg: arg})
+	if b.n < len(b.buf) {
+		b.buf[(b.head+b.n)%len(b.buf)] = e
+		b.n++
 	} else {
-		b.dropped++
+		b.buf[b.head] = e
+		b.head++
+		if b.head == len(b.buf) {
+			b.head = 0
+		}
+		b.dropped.Add(1)
 	}
 	b.mu.Unlock()
 }
@@ -88,25 +122,27 @@ func (b *Buffer) Record(at vtime.Time, node int, kind Kind, arg int64) {
 // Events returns a copy of the recorded events sorted by virtual time.
 func (b *Buffer) Events() []Event {
 	b.mu.Lock()
-	out := append([]Event(nil), b.events...)
+	out := make([]Event, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.buf[(b.head+i)%len(b.buf)]
+	}
 	b.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
 
-// Dropped reports how many events did not fit.
-func (b *Buffer) Dropped() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dropped
-}
+// Dropped reports how many events were overwritten by newer ones.
+func (b *Buffer) Dropped() int64 { return b.dropped.Load() }
 
-// Len reports the number of recorded events.
+// Len reports the number of live events.
 func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.events)
+	return b.n
 }
+
+// Cap reports the ring's capacity.
+func (b *Buffer) Cap() int { return len(b.buf) }
 
 // Summary aggregates the buffer into per-kind counts and a per-node
 // breakdown.
@@ -121,7 +157,7 @@ func (b *Buffer) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d events", len(events))
 	if d := b.Dropped(); d > 0 {
-		fmt.Fprintf(&sb, " (+%d dropped)", d)
+		fmt.Fprintf(&sb, " (+%d overwritten)", d)
 	}
 	sb.WriteString("\n")
 	kinds := make([]int, 0, len(kindCount))

@@ -8,11 +8,15 @@ import (
 	"repro/internal/vtime"
 )
 
+func ev(at vtime.Time, node int, kind Kind, arg int64) Event {
+	return Event{At: at, Node: node, Kind: kind, Arg: arg}
+}
+
 func TestRecordAndOrder(t *testing.T) {
 	b := NewBuffer(10)
-	b.Record(vtime.Time(300), 1, EvFault, 7)
-	b.Record(vtime.Time(100), 0, EvFetch, 7)
-	b.Record(vtime.Time(200), 2, EvFlush, 64)
+	b.Record(ev(300, 1, EvFault, 7))
+	b.Record(ev(100, 0, EvFetch, 7))
+	b.Record(ev(200, 2, EvFlush, 64))
 	evs := b.Events()
 	if len(evs) != 3 || b.Len() != 3 {
 		t.Fatalf("events = %d", len(evs))
@@ -26,24 +30,35 @@ func TestRecordAndOrder(t *testing.T) {
 	}
 }
 
-func TestCapacityAndDropped(t *testing.T) {
+func TestRingOverwritesOldest(t *testing.T) {
 	b := NewBuffer(2)
 	for i := 0; i < 5; i++ {
-		b.Record(vtime.Time(i), 0, EvFetch, int64(i))
+		b.Record(ev(vtime.Time(i), 0, EvFetch, int64(i)))
 	}
 	if b.Len() != 2 || b.Dropped() != 3 {
 		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
 	}
-	if !strings.Contains(b.Summary(), "+3 dropped") {
+	// The ring keeps the newest window, not the oldest.
+	evs := b.Events()
+	if evs[0].Arg != 3 || evs[1].Arg != 4 {
+		t.Fatalf("ring kept %v, want args 3,4", evs)
+	}
+	if !strings.Contains(b.Summary(), "+3 overwritten") {
 		t.Errorf("summary: %q", b.Summary())
+	}
+	if b.Cap() != 2 {
+		t.Errorf("Cap() = %d", b.Cap())
 	}
 }
 
 func TestDefaultCapacity(t *testing.T) {
 	b := NewBuffer(0)
-	b.Record(0, 0, EvMigrate, 1)
+	b.Record(ev(0, 0, EvMigrate, 1))
 	if b.Len() != 1 {
 		t.Fatal("default-capacity buffer rejected an event")
+	}
+	if b.Cap() != 1<<16 {
+		t.Fatalf("default capacity = %d", b.Cap())
 	}
 }
 
@@ -51,6 +66,7 @@ func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		EvFetch: "fetch", EvFault: "fault", EvInvalidate: "invalidate",
 		EvFlush: "flush", EvMonitorEnter: "monitor-enter", EvMigrate: "migrate",
+		EvApply: "apply",
 	} {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
@@ -63,9 +79,9 @@ func TestKindStrings(t *testing.T) {
 
 func TestSummaryAndDump(t *testing.T) {
 	b := NewBuffer(100)
-	b.Record(vtime.Time(vtime.Micro(5)), 0, EvFault, 3)
-	b.Record(vtime.Time(vtime.Micro(1)), 1, EvFault, 4)
-	b.Record(vtime.Time(vtime.Micro(2)), 1, EvFetch, 4)
+	b.Record(ev(vtime.Time(vtime.Micro(5)), 0, EvFault, 3))
+	b.Record(ev(vtime.Time(vtime.Micro(1)), 1, EvFault, 4))
+	b.Record(ev(vtime.Time(vtime.Micro(2)), 1, EvFetch, 4))
 	sum := b.Summary()
 	if !strings.Contains(sum, "fault         2") || !strings.Contains(sum, "node1         2") {
 		t.Errorf("summary:\n%s", sum)
@@ -82,20 +98,63 @@ func TestSummaryAndDump(t *testing.T) {
 	}
 }
 
+// TestConcurrentRecording hammers one ring from many goroutines — the
+// shape of a traced multi-threaded run — while a reader concurrently
+// drains Events/Len/Dropped. Run under -race in CI.
 func TestConcurrentRecording(t *testing.T) {
 	b := NewBuffer(100000)
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = b.Events()
+			_ = b.Len()
+			_ = b.Dropped()
+			_ = b.Summary()
+		}
+	}()
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				b.Record(vtime.Time(i), w, EvFetch, int64(i))
+				b.Record(Event{At: vtime.Time(i), Node: w, TID: int64(w), Kind: EvFetch, Arg: int64(i)})
 			}
 		}(w)
 	}
 	wg.Wait()
+	close(stop)
+	reader.Wait()
 	if b.Len() != 8000 {
 		t.Fatalf("recorded %d events", b.Len())
+	}
+}
+
+// TestConcurrentRingOverflow exercises the overwrite path under
+// contention: total records far exceed capacity, so live + dropped must
+// add up exactly.
+func TestConcurrentRingOverflow(t *testing.T) {
+	b := NewBuffer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Record(Event{At: vtime.Time(i), Node: w, Kind: EvFlush, Arg: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Len() != 64 || b.Dropped() != 4*500-64 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
 	}
 }
