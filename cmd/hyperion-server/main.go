@@ -13,7 +13,13 @@
 //	GET  /v1/results             query cached results by axis
 //	GET  /healthz                liveness
 //	GET  /metrics                text-format counters and latency histogram
+//	GET  /debug/dashboard        live ops dashboard (embedded single page)
 //	GET  /debug/pprof/           Go profiler (with -pprof)
+//
+// Every request gets one structured access-log line on stderr with a
+// correlation id (X-Request-Id); the id follows submitted jobs through
+// their whole lifecycle, so `grep <id>` over the log stream replays a
+// submission end to end. -log-level/-log-format configure the stream.
 //
 // Shutdown (SIGINT/SIGTERM) is graceful: running points drain into the
 // cache, unfinished jobs persist to -state and resume on restart.
@@ -37,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obslog"
 	"repro/internal/service"
 	"repro/internal/sweep"
 	"repro/internal/version"
@@ -62,6 +69,9 @@ func run(args []string, stdout io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "max time to wait for running points on shutdown")
 	enablePprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator-facing deployments only)")
 	traceCap := fs.Int("trace-capacity", 0, "protocol-event ring size for jobs submitted with \"trace\": true (0 = default)")
+	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn or error")
+	logFormat := fs.String("log-format", "json", "structured log format on stderr: json or text")
+	slowPoint := fs.Duration("slow-point", 0, "executed-point duration above which completion logs escalate to warnings (0 = 30s, negative disables)")
 	showVersion := fs.Bool("version", false, "print build version and exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -77,6 +87,17 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
 	}
 
+	level, err := obslog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := obslog.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	// Logs go to stderr (the log stream), human startup lines to stdout.
+	logger := obslog.New(os.Stderr, level, format)
+
 	cfg := service.Config{
 		Workers:           *workers,
 		MaxConcurrentJobs: *jobs,
@@ -84,6 +105,8 @@ func run(args []string, stdout io.Writer) error {
 		StatePath:         *statePath,
 		EnablePprof:       *enablePprof,
 		TraceCapacity:     *traceCap,
+		Logger:            logger,
+		SlowPoint:         *slowPoint,
 	}
 	if *cacheDir != "" {
 		cache, err := sweep.OpenCache(*cacheDir)
@@ -104,6 +127,9 @@ func run(args []string, stdout io.Writer) error {
 	httpSrv := &http.Server{Handler: s.Handler()}
 	fmt.Fprintf(stdout, "hyperion-server %s\nlistening on http://%s (cache=%q state=%q)\n",
 		version.String(), ln.Addr(), *cacheDir, *statePath)
+	logger.Info("server listening",
+		"addr", ln.Addr().String(), "cache", *cacheDir, "state", *statePath,
+		"version", version.String())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -113,6 +139,8 @@ func run(args []string, stdout io.Writer) error {
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(stdout, "caught %s; draining (max %s)\n", sig, *drainTimeout)
+		logger.Info("signal received; draining",
+			"signal", sig.String(), "drain_timeout", *drainTimeout)
 	case err := <-serveErr:
 		return err
 	}

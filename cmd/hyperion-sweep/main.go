@@ -14,6 +14,12 @@
 // flushed) as points complete, in completion order, so an interrupted
 // run still leaves usable output behind.
 //
+// Diagnostics (per-point progress, failures, the final accounting) are
+// structured log lines on stderr — never interleaved with result data
+// on stdout, so `hyperion-sweep > out.csv` and pipelines stay clean.
+// -log-level/-log-format control them (text for terminals, json for log
+// shippers); -quiet raises the level to warn, keeping only problems.
+//
 // Usage:
 //
 //	hyperion-sweep                              # full paper grid, CSV on stdout
@@ -28,12 +34,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obslog"
 	"repro/internal/sweep"
 	"repro/internal/version"
 )
@@ -64,7 +72,9 @@ func run(args []string, stdout io.Writer) error {
 		columnsF    = fs.String("columns", "", "CSV counter columns: comma-separated engine counter names, \"all\", or empty for the default set (checks,faults,mprotects,fetches)")
 		aggregate   = fs.Bool("aggregate", false, "print speedup curves, protocol crossovers and best configs")
 		printSpec   = fs.Bool("print-spec", false, "print the resolved spec as JSON and exit")
-		quiet       = fs.Bool("quiet", false, "suppress per-point progress on stderr")
+		quiet       = fs.Bool("quiet", false, "only log warnings and errors (shorthand for -log-level warn)")
+		logLevel    = fs.String("log-level", "info", "stderr diagnostics level: debug, info, warn or error")
+		logFormat   = fs.String("log-format", "text", "stderr diagnostics format: text or json")
 		showVersion = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +90,21 @@ func run(args []string, stdout io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
 	}
+
+	// All diagnostics go to stderr as structured log lines: stdout is
+	// reserved for result data (CSV/JSON/aggregates).
+	level, err := obslog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	lformat, err := obslog.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	if *quiet && level < slog.LevelWarn {
+		level = slog.LevelWarn
+	}
+	log := obslog.New(os.Stderr, level, lformat)
 
 	spec := sweep.PaperGrid()
 	if *specPath != "" {
@@ -129,7 +154,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "%d points\n", len(points))
+		log.Info("spec expanded", "points", len(points))
 		return nil
 	}
 
@@ -161,7 +186,7 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 
-	x := &sweep.Executor{Workers: *workers}
+	x := &sweep.Executor{Workers: *workers, Logger: log}
 	if *cacheDir != "" {
 		cache, err := sweep.OpenCache(*cacheDir)
 		if err != nil {
@@ -188,15 +213,17 @@ func run(args []string, stdout io.Writer) error {
 		if writeErr == nil {
 			writeErr = sw.point(pr)
 		}
-		if !*quiet {
+		// Failures escalate via the executor's own "point resolved"
+		// error line; progress proper logs at Info.
+		if pr.Err == nil {
 			status := "ran"
-			switch {
-			case pr.Err != nil:
-				status = "FAILED: " + pr.Err.Error()
-			case pr.Cached:
+			if pr.Cached {
 				status = "cached"
 			}
-			fmt.Fprintf(os.Stderr, "[%*d/%d] %-40s %s\n", len(strconv.Itoa(total)), done, total, pr.Point, status)
+			log.Info("progress",
+				"done", done, "total", total,
+				"point", pr.Point.String(), "status", status,
+				"elapsed", pr.Elapsed)
 		}
 	}
 
@@ -211,8 +238,13 @@ func run(args []string, stdout io.Writer) error {
 	if err := sw.end(out); err != nil {
 		return fmt.Errorf("writing results: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "%d points: %d executed, %d cached, %d failed in %.1fs\n",
-		len(out.Points), out.Executed, out.CacheHits, out.Failed, time.Since(start).Seconds())
+	log.Info("sweep finished",
+		"points", len(out.Points),
+		"executed", out.Executed,
+		"cached", out.CacheHits,
+		"failed", out.Failed,
+		"canceled", out.Canceled,
+		"elapsed", time.Since(start))
 
 	if *aggregate {
 		protoA, protoB := crossoverPair(spec)

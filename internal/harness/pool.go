@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -54,6 +56,12 @@ type PoolHooks struct {
 	// primitive: close Cancel, wait for RunJobs to return, and every
 	// result is either fully computed or cleanly marked canceled.
 	Cancel <-chan struct{}
+	// Logger, when non-nil, reports genuinely failed jobs — including
+	// isolated panics, which the pool otherwise converts into errors
+	// silently — at Error level. Cancellations are not failures and are
+	// not logged. Attribute construction is guarded by Logger.Enabled,
+	// so a disabled logger adds no allocations to job settlement.
+	Logger *slog.Logger
 }
 
 // RunJobs executes jobs concurrently on a worker pool and returns their
@@ -89,6 +97,11 @@ func RunJobsHooked(jobs []Job, workers int, hooks PoolHooks) []JobResult {
 		mu.Lock()
 		results[i] = jr
 		done++
+		if hooks.Logger != nil && jr.Err != nil && !errors.Is(jr.Err, ErrCanceled) &&
+			hooks.Logger.Enabled(context.Background(), slog.LevelError) {
+			hooks.Logger.Error("pool job failed",
+				"job", i, "elapsed", jr.Elapsed, "error", jr.Err.Error())
+		}
 		if hooks.OnDone != nil {
 			hooks.OnDone(done, i, jr)
 		}

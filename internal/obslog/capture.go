@@ -1,0 +1,117 @@
+package obslog
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+)
+
+// Entry is one record observed by a Capture handler, with its attributes
+// (including those attached via Logger.With) flattened into a map.
+// Group names become dotted key prefixes.
+type Entry struct {
+	Level   slog.Level
+	Message string
+	Attrs   map[string]any
+}
+
+// Attr returns the attribute's value, or nil when absent.
+func (e Entry) Attr(key string) any { return e.Attrs[key] }
+
+// Capture is a slog.Handler that records every entry in memory: the
+// assertion surface for logging tests ("this request produced exactly
+// one access line", "these lines share a correlation id"). Handlers
+// derived through With/WithGroup record into the same entry list, so a
+// test sees one stream however the code under test scoped its loggers.
+// Safe for concurrent use.
+type Capture struct {
+	state  *captureState
+	with   []slog.Attr
+	prefix string // dotted group prefix
+}
+
+type captureState struct {
+	min     slog.Level
+	mu      sync.Mutex
+	entries []Entry
+}
+
+var _ slog.Handler = (*Capture)(nil)
+
+// NewCapture returns a handler recording everything from minLevel up.
+func NewCapture(minLevel slog.Level) *Capture {
+	return &Capture{state: &captureState{min: minLevel}}
+}
+
+// Logger wraps the capture in a *slog.Logger.
+func (c *Capture) Logger() *slog.Logger { return slog.New(c) }
+
+// Enabled implements slog.Handler.
+func (c *Capture) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= c.state.min
+}
+
+// Handle implements slog.Handler.
+func (c *Capture) Handle(_ context.Context, r slog.Record) error {
+	e := Entry{Level: r.Level, Message: r.Message, Attrs: make(map[string]any, r.NumAttrs()+len(c.with))}
+	for _, a := range c.with {
+		// Bound attrs carry their prefix from bind time (WithAttrs).
+		e.Attrs[a.Key] = a.Value.Resolve().Any()
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		e.Attrs[c.prefix+a.Key] = a.Value.Resolve().Any()
+		return true
+	})
+	c.state.mu.Lock()
+	c.state.entries = append(c.state.entries, e)
+	c.state.mu.Unlock()
+	return nil
+}
+
+// WithAttrs implements slog.Handler. Attr keys are qualified by the
+// groups open at bind time, matching slog's qualification rules.
+func (c *Capture) WithAttrs(attrs []slog.Attr) slog.Handler {
+	d := *c
+	d.with = append([]slog.Attr{}, c.with...)
+	for _, a := range attrs {
+		d.with = append(d.with, slog.Attr{Key: c.prefix + a.Key, Value: a.Value})
+	}
+	return &d
+}
+
+// WithGroup implements slog.Handler.
+func (c *Capture) WithGroup(name string) slog.Handler {
+	d := *c
+	d.prefix = c.prefix + name + "."
+	return &d
+}
+
+// Entries returns a snapshot of everything recorded so far.
+func (c *Capture) Entries() []Entry {
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	return append([]Entry{}, c.state.entries...)
+}
+
+// ByMessage returns the recorded entries with the given message.
+func (c *Capture) ByMessage(msg string) []Entry {
+	var out []Entry
+	for _, e := range c.Entries() {
+		if e.Message == msg {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WithAttrValue returns the recorded entries whose attribute key equals
+// value (resolved-value interface equality).
+func (c *Capture) WithAttrValue(key string, value any) []Entry {
+	var out []Entry
+	for _, e := range c.Entries() {
+		if v, ok := e.Attrs[key]; ok && v == value {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package obslog
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RequestIDHeader is the header the middleware reads an inbound
+// correlation id from and echoes the effective id back on. Callers that
+// already have an id (a retrying client, an upstream proxy) pass it
+// here; everyone else gets a fresh one.
+const RequestIDHeader = "X-Request-Id"
+
+// statusWriter captures what the handler wrote, for the access line.
+// It implements http.Flusher unconditionally — the service's SSE
+// endpoint type-asserts its ResponseWriter to a Flusher, and wrapping
+// must not take streaming away.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer for
+// interfaces statusWriter does not re-implement.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// AccessLog wraps next with correlation and access logging: every
+// request gets a request id (minted, or adopted from X-Request-Id),
+// carried on the request context for handlers to thread into whatever
+// work the request causes, echoed on the response header, and — once
+// the handler returns — summarized in exactly one access-log line
+// carrying method, route, status, bytes, duration and the id.
+//
+// API traffic (/v1/...) logs at Info; scrape and probe endpoints
+// (/metrics, /healthz, /debug/...) log at Debug so a 15-second
+// Prometheus interval does not drown the stream operators actually
+// read.
+func AccessLog(l *slog.Logger, next http.Handler) http.Handler {
+	l = OrNop(l)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(WithRequestID(r.Context(), id)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		level := slog.LevelInfo
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			level = slog.LevelDebug
+		}
+		if !l.Enabled(r.Context(), level) {
+			return
+		}
+		l.LogAttrs(r.Context(), level, "http request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("route", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}

@@ -1,0 +1,130 @@
+package obslog
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestAccessLogMintsAndPropagatesRequestID(t *testing.T) {
+	cap := NewCapture(slog.LevelDebug)
+	var seenInHandler string
+	h := AccessLog(cap.Logger(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenInHandler = RequestID(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short and stout")
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	echoed := resp.Header.Get(RequestIDHeader)
+	if echoed == "" {
+		t.Fatal("no X-Request-Id on the response")
+	}
+	if seenInHandler != echoed {
+		t.Errorf("handler saw id %q, response header %q", seenInHandler, echoed)
+	}
+	lines := cap.ByMessage("http request")
+	if len(lines) != 1 {
+		t.Fatalf("got %d access lines, want 1", len(lines))
+	}
+	e := lines[0]
+	if e.Attr("request_id") != echoed {
+		t.Errorf("access line id %v, want %q", e.Attr("request_id"), echoed)
+	}
+	if e.Attr("method") != "GET" || e.Attr("route") != "/v1/sweeps" {
+		t.Errorf("method/route: %v", e.Attrs)
+	}
+	if v, _ := e.Attr("status").(int64); v != http.StatusTeapot {
+		t.Errorf("status = %v", e.Attr("status"))
+	}
+	if v, _ := e.Attr("bytes").(int64); v != int64(len("short and stout")) {
+		t.Errorf("bytes = %v", e.Attr("bytes"))
+	}
+	if e.Level != slog.LevelInfo {
+		t.Errorf("level = %v, want info for /v1 traffic", e.Level)
+	}
+}
+
+func TestAccessLogAdoptsInboundRequestID(t *testing.T) {
+	cap := NewCapture(slog.LevelDebug)
+	h := AccessLog(cap.Logger(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest("GET", "/v1/results", nil)
+	req.Header.Set(RequestIDHeader, "client-chosen-id")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if got := rec.Header().Get(RequestIDHeader); got != "client-chosen-id" {
+		t.Errorf("echoed id %q", got)
+	}
+	if lines := cap.WithAttrValue("request_id", "client-chosen-id"); len(lines) != 1 {
+		t.Errorf("got %d lines for the client id", len(lines))
+	}
+}
+
+func TestAccessLogScrapePathsLogAtDebug(t *testing.T) {
+	cap := NewCapture(slog.LevelDebug)
+	h := AccessLog(cap.Logger(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok") //nolint:errcheck
+	}))
+	for _, path := range []string{"/metrics", "/healthz", "/debug/dashboard"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+	lines := cap.ByMessage("http request")
+	if len(lines) != 3 {
+		t.Fatalf("got %d access lines, want 3", len(lines))
+	}
+	for _, e := range lines {
+		if e.Level != slog.LevelDebug {
+			t.Errorf("route %v logged at %v, want debug", e.Attr("route"), e.Level)
+		}
+	}
+	// At the default Info level those lines disappear entirely.
+	quiet := NewCapture(slog.LevelInfo)
+	h = AccessLog(quiet.Logger(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if n := len(quiet.Entries()); n != 0 {
+		t.Errorf("scrape logged %d lines at info level", n)
+	}
+}
+
+func TestAccessLogPreservesFlusher(t *testing.T) {
+	var flushable bool
+	h := AccessLog(Nop(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, flushable = w.(http.Flusher)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/j-1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !flushable {
+		t.Fatal("wrapped ResponseWriter lost http.Flusher — SSE would 500")
+	}
+}
+
+func TestAccessLogDefaultStatusIs200(t *testing.T) {
+	cap := NewCapture(slog.LevelDebug)
+	h := AccessLog(cap.Logger(), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Neither WriteHeader nor Write: net/http sends 200 on return.
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sweeps", nil))
+	if v, _ := cap.Entries()[0].Attr("status").(int64); v != http.StatusOK {
+		t.Errorf("status = %v, want 200", v)
+	}
+}

@@ -1,0 +1,155 @@
+package obslog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+		ok   bool
+	}{
+		{"debug", slog.LevelDebug, true},
+		{"info", slog.LevelInfo, true},
+		{"", slog.LevelInfo, true},
+		{"WARN", slog.LevelWarn, true},
+		{"warning", slog.LevelWarn, true},
+		{" error ", slog.LevelError, true},
+		{"loud", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseLevel(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat("JSON"); err != nil || f != FormatJSON {
+		t.Errorf("ParseFormat(JSON) = %v, %v", f, err)
+	}
+	if f, err := ParseFormat("text"); err != nil || f != FormatText {
+		t.Errorf("ParseFormat(text) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat(xml) succeeded")
+	}
+}
+
+func TestNewJSONEmitsOneObjectPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelInfo, FormatJSON)
+	l.Info("hello", "k", "v")
+	l.Debug("suppressed")
+	l.Warn("second", "n", 2)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if first["msg"] != "hello" || first["k"] != "v" {
+		t.Errorf("line 0 = %v", first)
+	}
+}
+
+func TestNewTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelDebug, FormatText)
+	l.Debug("detail", "point", "pi/sci")
+	if got := buf.String(); !strings.Contains(got, "msg=detail") || !strings.Contains(got, "point=pi/sci") {
+		t.Errorf("text output %q", got)
+	}
+}
+
+func TestNopAndOrNop(t *testing.T) {
+	// Must not panic, must be disabled at every level.
+	Nop().Info("ignored")
+	if Nop().Enabled(context.Background(), slog.LevelError) {
+		t.Error("Nop logger enabled at error")
+	}
+	if OrNop(nil) == nil {
+		t.Error("OrNop(nil) returned nil")
+	}
+	l := Nop()
+	if OrNop(l) != l {
+		t.Error("OrNop did not pass a non-nil logger through")
+	}
+}
+
+func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRequestIDContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Errorf("empty context id = %q", got)
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Errorf("round-trip id = %q", got)
+	}
+}
+
+func TestCaptureRecordsWithDerivedAttrs(t *testing.T) {
+	cap := NewCapture(slog.LevelDebug)
+	l := cap.Logger().With("job", "j-000001", "request_id", "rid1")
+	l.Info("job admitted", "points", 4)
+	l.WithGroup("point").Info("point finished", "status", "executed")
+
+	entries := cap.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	e := entries[0]
+	if e.Attr("job") != "j-000001" || e.Attr("request_id") != "rid1" {
+		t.Errorf("derived attrs missing: %v", e.Attrs)
+	}
+	if v, ok := e.Attr("points").(int64); !ok || v != 4 {
+		t.Errorf("points = %v", e.Attr("points"))
+	}
+	if entries[1].Attr("point.status") != "executed" {
+		t.Errorf("grouped attr: %v", entries[1].Attrs)
+	}
+	if got := cap.ByMessage("job admitted"); len(got) != 1 {
+		t.Errorf("ByMessage = %d entries", len(got))
+	}
+	if got := cap.WithAttrValue("request_id", "rid1"); len(got) != 2 {
+		t.Errorf("WithAttrValue = %d entries, want 2", len(got))
+	}
+}
+
+func TestCaptureMinLevel(t *testing.T) {
+	cap := NewCapture(slog.LevelWarn)
+	l := cap.Logger()
+	l.Info("dropped")
+	l.Warn("kept")
+	if entries := cap.Entries(); len(entries) != 1 || entries[0].Message != "kept" {
+		t.Errorf("entries = %v", entries)
+	}
+}

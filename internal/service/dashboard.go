@@ -1,0 +1,23 @@
+package service
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the live ops dashboard: a single self-contained page
+// (no external assets, works air-gapped) that polls GET /metrics for
+// queue depth, per-protocol latency histograms, SSE subscriber and
+// trace-drop counters, polls GET /v1/sweeps for the job table, and
+// attaches to running jobs' SSE /events streams for live per-point
+// progress. Embedded so the server binary stays a single file.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// handleDashboard serves the embedded ops dashboard.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Write(dashboardHTML) //nolint:errcheck // the client is gone if this fails
+}

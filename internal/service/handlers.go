@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obslog"
 	"repro/internal/sweep"
 )
 
@@ -27,7 +28,13 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/results           query the result cache by axis
 //	GET  /healthz              liveness
 //	GET  /metrics              text-format operational counters
+//	GET  /debug/dashboard      live ops dashboard (embedded single page)
 //	GET  /debug/pprof/...      Go profiler (only with Config.EnablePprof)
+//
+// The whole surface is wrapped in the obslog access-log middleware:
+// every request gets a correlation id (X-Request-Id, minted or adopted)
+// and exactly one structured access line; /v1 traffic logs at Info,
+// scrape and probe paths at Debug.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
@@ -38,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results", s.handleResults)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -45,7 +53,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return obslog.AccessLog(s.log, mux)
 }
 
 // writeJSON emits a JSON response body.
@@ -81,7 +89,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.Submit(spec)
+	j, err := s.Submit(r.Context(), spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)

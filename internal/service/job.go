@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -57,7 +58,12 @@ type Event struct {
 // Job is one submitted sweep: its expanded points, their incrementally
 // filled results, and the event stream derived from them.
 type Job struct {
-	id        string
+	id string
+	// reqID is the correlation id of the HTTP request that submitted the
+	// job ("" for direct API submissions without one); log is pre-scoped
+	// with both ids, so every lifecycle line greps by either.
+	reqID     string
+	log       *slog.Logger
 	spec      sweep.Spec
 	points    []sweep.Point
 	submitted time.Time
@@ -83,9 +89,14 @@ type Counts struct {
 	Canceled  int `json:"canceled"`
 }
 
-func newJob(id string, spec sweep.Spec, points []sweep.Point, now time.Time) *Job {
+func newJob(id, reqID string, spec sweep.Spec, points []sweep.Point, log *slog.Logger, now time.Time) *Job {
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	return &Job{
 		id:        id,
+		reqID:     reqID,
+		log:       log,
 		spec:      spec,
 		points:    points,
 		submitted: now,
@@ -231,7 +242,10 @@ type PointView struct {
 // View is the externalized state of a job: the GET /v1/sweeps/{id}
 // response body. Points carry partial results while the job runs.
 type View struct {
-	ID          string      `json:"id"`
+	ID string `json:"id"`
+	// RequestID is the correlation id of the submitting HTTP request:
+	// the handle for grepping this job's lines out of the log stream.
+	RequestID   string      `json:"request_id,omitempty"`
 	State       State       `json:"state"`
 	Spec        sweep.Spec  `json:"spec"`
 	Total       int         `json:"total"`
@@ -248,6 +262,7 @@ func (j *Job) view(withPoints bool) View {
 	defer j.mu.Unlock()
 	v := View{
 		ID:          j.id,
+		RequestID:   j.reqID,
 		State:       j.state,
 		Spec:        j.spec,
 		Total:       len(j.points),

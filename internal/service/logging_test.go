@@ -1,0 +1,430 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obslog"
+	"repro/internal/sweep"
+)
+
+// fanoutHandler duplicates records to several slog handlers: the e2e
+// test captures in memory for assertions and, when HYPERION_E2E_LOG is
+// set (CI does this), also writes the real JSON stream to a file that
+// gets uploaded as a build artifact.
+type fanoutHandler struct{ hs []slog.Handler }
+
+func (f fanoutHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	for _, h := range f.hs {
+		if h.Enabled(ctx, l) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f fanoutHandler) Handle(ctx context.Context, r slog.Record) error {
+	var first error
+	for _, h := range f.hs {
+		if h.Enabled(ctx, r.Level) {
+			if err := h.Handle(ctx, r.Clone()); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (f fanoutHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	hs := make([]slog.Handler, len(f.hs))
+	for i, h := range f.hs {
+		hs[i] = h.WithAttrs(attrs)
+	}
+	return fanoutHandler{hs}
+}
+
+func (f fanoutHandler) WithGroup(name string) slog.Handler {
+	hs := make([]slog.Handler, len(f.hs))
+	for i, h := range f.hs {
+		hs[i] = h.WithGroup(name)
+	}
+	return fanoutHandler{hs}
+}
+
+// e2eLogger builds the test server's logger: an in-memory capture,
+// plus a JSON file sink when HYPERION_E2E_LOG names one.
+func e2eLogger(t *testing.T) (*obslog.Capture, *slog.Logger) {
+	t.Helper()
+	cap := obslog.NewCapture(slog.LevelDebug)
+	handlers := []slog.Handler{cap}
+	if path := os.Getenv("HYPERION_E2E_LOG"); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("opening HYPERION_E2E_LOG: %v", err)
+		}
+		t.Cleanup(func() { f.Close() })
+		handlers = append(handlers, slog.NewJSONHandler(f, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+	return cap, slog.New(fanoutHandler{handlers})
+}
+
+// TestEveryV1RouteEmitsOneAccessLine drives every registered /v1 route
+// through the wrapped handler and asserts the middleware contract: one
+// access-log line per request, each with a non-empty request id, /v1
+// traffic at Info. (The ids here are server-minted: no X-Request-Id is
+// sent.)
+func TestEveryV1RouteEmitsOneAccessLine(t *testing.T) {
+	cap, logger := e2eLogger(t)
+	s := newServer(t, Config{Workers: 1, NewApp: testApps, Logger: logger})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Every /v1 route in Handler's mux. Unknown-id and bad-spec requests
+	// still traverse the middleware, so 404/400 responses count too.
+	routes := []struct {
+		method, path string
+		body         string
+	}{
+		{"POST", "/v1/sweeps", `{"apps":["no-such-app"]}`},
+		{"GET", "/v1/sweeps", ""},
+		{"GET", "/v1/sweeps/j-999999", ""},
+		{"GET", "/v1/sweeps/j-999999/events", ""},
+		{"GET", "/v1/sweeps/j-999999/trace", ""},
+		{"GET", "/v1/results", ""},
+	}
+	for _, rt := range routes {
+		req, err := http.NewRequest(rt.method, ts.URL+rt.path, strings.NewReader(rt.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", rt.method, rt.path, err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.Header.Get(obslog.RequestIDHeader) == "" {
+			t.Errorf("%s %s: no X-Request-Id on response", rt.method, rt.path)
+		}
+	}
+
+	for _, rt := range routes {
+		var matched []obslog.Entry
+		for _, e := range cap.ByMessage("http request") {
+			if e.Attr("route") == rt.path && e.Attr("method") == rt.method {
+				matched = append(matched, e)
+			}
+		}
+		if len(matched) != 1 {
+			t.Errorf("%s %s: %d access lines, want exactly 1", rt.method, rt.path, len(matched))
+			continue
+		}
+		e := matched[0]
+		if id, _ := e.Attr("request_id").(string); id == "" {
+			t.Errorf("%s %s: access line has no request id", rt.method, rt.path)
+		}
+		if e.Level != slog.LevelInfo {
+			t.Errorf("%s %s: access line at %v, want info", rt.method, rt.path, e.Level)
+		}
+		if e.Attr("status") == nil || e.Attr("duration") == nil || e.Attr("bytes") == nil {
+			t.Errorf("%s %s: access line missing fields: %v", rt.method, rt.path, e.Attrs)
+		}
+	}
+
+	// Scrape/probe paths log at Debug, not Info.
+	for _, path := range []string{"/metrics", "/healthz", "/debug/dashboard"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		var found bool
+		for _, e := range cap.ByMessage("http request") {
+			if e.Attr("route") == path {
+				found = true
+				if e.Level != slog.LevelDebug {
+					t.Errorf("%s access line at %v, want debug", path, e.Level)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no access line", path)
+		}
+	}
+}
+
+// TestServerCorrelationEndToEnd is the acceptance test for the
+// correlation story: one submitted sweep's request id must appear on
+// the HTTP access line, the queue-admission line, every per-point line,
+// and the job-completion line — so `grep <id>` over the server's log
+// stream reconstructs the job's whole lifecycle.
+func TestServerCorrelationEndToEnd(t *testing.T) {
+	cap, logger := e2eLogger(t)
+	cache, err := sweep.OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(t, Config{Workers: 2, NewApp: testApps, Cache: cache, Logger: logger})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const rid = "corr-e2e-0001"
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweeps",
+		strings.NewReader(`{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_ic","java_pf"],"nodes":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obslog.RequestIDHeader, rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		ID        string `json:"id"`
+		RequestID string `json:"request_id"`
+	}
+	decodeJSON(t, resp, &accepted)
+	if accepted.RequestID != rid {
+		t.Fatalf("job view request_id = %q, want %q", accepted.RequestID, rid)
+	}
+	waitTerminal(t, ts.URL, accepted.ID)
+
+	// Every line of the job's lifecycle carries the submission's id.
+	correlated := cap.WithAttrValue("request_id", rid)
+	byMsg := make(map[string]int)
+	for _, e := range correlated {
+		byMsg[e.Message]++
+	}
+	for msg, want := range map[string]int{
+		"http request":   1, // the POST's access line
+		"job admitted":   1, // queue admission
+		"job started":    1,
+		"point finished": 4, // one per grid point
+		"job finished":   1, // completion
+	} {
+		if byMsg[msg] != want {
+			t.Errorf("%d %q lines with request_id=%s, want %d\nall: %v", byMsg[msg], msg, rid, want, byMsg)
+		}
+	}
+	// And they agree on the job id end to end.
+	for _, e := range correlated {
+		if e.Message == "http request" {
+			continue
+		}
+		if e.Attr("job") != accepted.ID {
+			t.Errorf("%q line carries job %v, want %s", e.Message, e.Attr("job"), accepted.ID)
+		}
+	}
+	// The per-point lines carry the executable detail.
+	points := cap.ByMessage("point finished")
+	for _, e := range points {
+		if e.Attr("point") == nil || e.Attr("status") != "executed" || e.Attr("protocol") == nil {
+			t.Errorf("point line missing detail: %v", e.Attrs)
+		}
+	}
+
+	// A second identical submission correlates its own id — and its
+	// points resolve as cache hits, visible in the same stream.
+	const rid2 = "corr-e2e-0002"
+	req, err = http.NewRequest("POST", ts.URL+"/v1/sweeps",
+		strings.NewReader(`{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_ic","java_pf"],"nodes":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obslog.RequestIDHeader, rid2)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &accepted)
+	waitTerminal(t, ts.URL, accepted.ID)
+	var cachedLines int
+	for _, e := range cap.WithAttrValue("request_id", rid2) {
+		if e.Message == "point finished" && e.Attr("status") == "cached" {
+			cachedLines++
+		}
+	}
+	if cachedLines != 4 {
+		t.Errorf("resubmission logged %d cached point lines, want 4", cachedLines)
+	}
+}
+
+// TestDashboardServed: the ops dashboard is embedded, always mounted,
+// and self-contained (references only same-origin endpoints).
+func TestDashboardServed(t *testing.T) {
+	s := newServer(t, Config{Workers: 1, NewApp: testApps})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content-type %q", ct)
+	}
+	html := string(body)
+	for _, want := range []string{
+		"hyperion-server",        // title
+		"/metrics",               // metrics poller
+		"/v1/sweeps",             // jobs poller
+		"EventSource",            // live SSE subscription
+		"hyperion_point_seconds", // latency histogram source
+		"hyperion_trace_dropped", // trace-drop tile
+		"hyperion_queue_depth",   // queue tile + sparkline
+		"prefers-color-scheme",   // dark mode is selected, not flipped
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(html, "http://") || strings.Contains(html, "https://") {
+		t.Error("dashboard references an external origin; must work air-gapped")
+	}
+}
+
+// TestTraceDropSurfaced: a traced job whose ring is smaller than its
+// event volume must surface the loss in /metrics and warn on the job's
+// log stream — not only inside the exported trace file.
+func TestTraceDropSurfaced(t *testing.T) {
+	cap, logger := e2eLogger(t)
+	// Jacobi at 2 nodes generates far more than 8 protocol events.
+	s := newServer(t, Config{Workers: 1, NewApp: testApps, Logger: logger, TraceCapacity: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts.URL, `{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_pf"],"nodes":[2],"trace":true}`)
+	waitTerminal(t, ts.URL, id)
+
+	if got := metricValue(t, ts.URL, "hyperion_trace_dropped_events_total"); got <= 0 {
+		t.Errorf("hyperion_trace_dropped_events_total = %g, want > 0", got)
+	}
+	warns := cap.ByMessage("trace ring dropped events")
+	if len(warns) != 1 {
+		t.Fatalf("%d drop warnings, want 1", len(warns))
+	}
+	if warns[0].Level != slog.LevelWarn {
+		t.Errorf("drop warning at %v, want warn", warns[0].Level)
+	}
+	if warns[0].Attr("job") != id {
+		t.Errorf("drop warning for job %v, want %s", warns[0].Attr("job"), id)
+	}
+	if d, _ := warns[0].Attr("dropped").(int64); d <= 0 {
+		t.Errorf("dropped attr = %v, want > 0", warns[0].Attr("dropped"))
+	}
+}
+
+// TestResultsQueryFiltering exercises handleResults' filter matrix
+// beyond the happy paths the e2e test covers: axis ANDing, cluster
+// canonicalization, paperscale parsing, and every 4xx/5xx path.
+func TestResultsQueryFiltering(t *testing.T) {
+	cache, err := sweep.OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(t, Config{Workers: 2, NewApp: testApps, Cache: cache})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 2 apps x 2 nodes x 1 protocol = 4 cached points.
+	id := submit(t, ts.URL, `{"apps":["jacobi","asp"],"clusters":["sci"],"protocols":["java_pf"],"nodes":[1,2]}`)
+	waitTerminal(t, ts.URL, id)
+
+	count := func(query string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/results" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Count int `json:"count"`
+		}
+		decodeJSON(t, resp, &body)
+		return body.Count
+	}
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"", 4},
+		{"?app=jacobi", 2},
+		{"?app=asp&nodes=2", 1},
+		{"?protocol=java_pf", 4},
+		{"?protocol=java_ic", 0},
+		{"?nodes=3", 0},
+		{"?tpn=1", 4},
+		{"?tpn=2", 0},
+		{"?paperscale=false", 4},
+		{"?paperscale=true", 0},
+		{"?cluster=sci", 4},     // canonical name
+		{"?cluster=SCI", 4},     // canonicalized
+		{"?cluster=myrinet", 0}, // valid, no matches
+		{"?app=jacobi&nodes=1&protocol=java_pf&tpn=1", 1}, // full AND
+	}
+	for _, c := range cases {
+		if got := count(c.query); got != c.want {
+			t.Errorf("GET /v1/results%s count = %d, want %d", c.query, got, c.want)
+		}
+	}
+
+	status := func(query string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/results" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, q := range []string{"?nodes=abc", "?tpn=x", "?paperscale=maybe", "?cluster=vax"} {
+		if got := status(q); got != http.StatusBadRequest {
+			t.Errorf("GET /v1/results%s status = %d, want 400", q, got)
+		}
+	}
+
+	// Without a cache the endpoint reports unavailability, not an empty
+	// result set.
+	noCache := newServer(t, Config{Workers: 1, NewApp: testApps})
+	ts2 := httptest.NewServer(noCache.Handler())
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/v1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("cacheless /v1/results status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// decodeJSON decodes a response body, failing the test on error.
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+}

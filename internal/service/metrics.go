@@ -34,6 +34,11 @@ type metrics struct {
 
 	sseSubscribers stats.Counter // gauge
 
+	// traceDropped accumulates trace.Buffer.Dropped over every resolved
+	// traced point: events lost to full rings, otherwise visible only
+	// inside the exported trace files.
+	traceDropped stats.Counter
+
 	latencyMu    sync.Mutex
 	pointLatency map[string]*stats.Histogram // by protocol
 }
@@ -85,6 +90,8 @@ func (m *metrics) render(queueDepth int) string {
 	counter("hyperion_points_canceled_total", "Grid points canceled by shutdown.", m.pointsCanceled.Value())
 
 	gauge("hyperion_sse_subscribers", "Event streams currently attached.", m.sseSubscribers.Value())
+
+	counter("hyperion_trace_dropped_events_total", "Protocol-trace events overwritten by full rings across all traced points (size rings with -trace-capacity).", m.traceDropped.Value())
 
 	// Per-protocol latency histogram, protocols in sorted order for a
 	// stable exposition.

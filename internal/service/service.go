@@ -24,12 +24,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/obslog"
 	"repro/internal/sweep"
 )
 
@@ -64,7 +66,21 @@ type Config struct {
 	// the trace package's default capacity. Traces are downloadable per
 	// point via GET /v1/sweeps/{id}/trace?point=N.
 	TraceCapacity int
+	// Logger receives the server's structured log stream: one access
+	// line per HTTP request (via the obslog middleware wrapping
+	// Handler), and the correlated job lifecycle — queue admission,
+	// flight-table coalescing, per-point start/finish, cache hits,
+	// panics, drain. Every line a request caused carries that request's
+	// id, so one grep reconstructs a job end to end. Nil discards.
+	Logger *slog.Logger
+	// SlowPoint is the executed-point wall-clock duration above which
+	// the per-point completion line escalates to a warning. Zero selects
+	// 30s; negative disables the escalation.
+	SlowPoint time.Duration
 }
+
+// defaultSlowPoint is the Config.SlowPoint zero-value threshold.
+const defaultSlowPoint = 30 * time.Second
 
 // Common submission errors, mapped to HTTP statuses by the handlers.
 var (
@@ -78,6 +94,7 @@ var (
 type Server struct {
 	cfg     Config
 	metrics *metrics
+	log     *slog.Logger
 	startAt time.Time
 
 	mu      sync.Mutex
@@ -119,9 +136,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
 	}
+	if cfg.SlowPoint == 0 {
+		cfg.SlowPoint = defaultSlowPoint
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
+		log:     obslog.OrNop(cfg.Logger),
 		startAt: time.Now(),
 		jobs:    make(map[string]*Job),
 		stop:    make(chan struct{}),
@@ -144,6 +165,8 @@ func New(cfg Config) (*Server, error) {
 		s.order = append(s.order, j.id)
 		s.queue <- j
 		s.metrics.jobsSubmitted.Inc()
+		j.log.Info("job restored from queue state",
+			"points", len(j.points), "state_path", cfg.StatePath)
 	}
 	for i := 0; i < cfg.MaxConcurrentJobs; i++ {
 		s.wg.Add(1)
@@ -153,9 +176,11 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Submit validates and expands a spec, admits it as a job, and returns
-// it. ErrQueueFull and ErrStopped report admission failures; any other
-// error is a bad spec.
-func (s *Server) Submit(spec sweep.Spec) (*Job, error) {
+// it. The context's obslog request id (stamped by the AccessLog
+// middleware for HTTP submissions) becomes the job's correlation id:
+// every lifecycle line the job ever logs carries it. ErrQueueFull and
+// ErrStopped report admission failures; any other error is a bad spec.
+func (s *Server) Submit(ctx context.Context, spec sweep.Spec) (*Job, error) {
 	points, err := spec.ExpandFor(s.cfg.NewApp)
 	if err != nil {
 		return nil, err
@@ -165,7 +190,7 @@ func (s *Server) Submit(spec sweep.Spec) (*Job, error) {
 	if s.stopped {
 		return nil, ErrStopped
 	}
-	j := newJob(fmt.Sprintf("j-%06d", s.seq+1), spec, points, time.Now())
+	j := s.newJobLocked(fmt.Sprintf("j-%06d", s.seq+1), obslog.RequestID(ctx), spec, points)
 	// Registered only once actually enqueued, under the same lock, so a
 	// full queue leaves no trace and ids stay dense.
 	select {
@@ -174,10 +199,23 @@ func (s *Server) Submit(spec sweep.Spec) (*Job, error) {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.metrics.jobsSubmitted.Inc()
+		j.log.Info("job admitted",
+			"points", len(j.points), "queue_depth", len(s.queue))
 		return j, nil
 	default:
+		j.log.Warn("job rejected: queue full", "queue_cap", cap(s.queue))
 		return nil, ErrQueueFull
 	}
+}
+
+// newJobLocked builds a job whose logger is pre-scoped with the job id
+// and, when known, the correlation id of the request that caused it.
+func (s *Server) newJobLocked(id, requestID string, spec sweep.Spec, points []sweep.Point) *Job {
+	log := s.log.With("job", id)
+	if requestID != "" {
+		log = log.With("request_id", requestID)
+	}
+	return newJob(id, requestID, spec, points, log, time.Now())
 }
 
 // Job looks a job up by id.
@@ -224,9 +262,11 @@ func (s *Server) runner() {
 // flight under another job — wait for that result), with the flight
 // table deciding which.
 func (s *Server) runJob(j *Job) {
-	j.setRunning(time.Now())
+	now := time.Now()
+	j.setRunning(now)
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
+	queuedFor := now.Sub(j.submitted)
 
 	type follower struct {
 		idx int
@@ -253,12 +293,22 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.flightMu.Unlock()
 
+	// Followers are the flight table at work: identical points already
+	// in flight (here or in another job) that this job will not
+	// re-execute.
+	j.log.Info("job started",
+		"queued_for", queuedFor,
+		"points", len(j.points),
+		"leads", len(leadIdx),
+		"coalesced", len(followers))
+
 	// A lead flight must always resolve, or followers in other jobs
 	// would hang forever: the executor reports every point through
 	// OnPoint, and this net catches a service-side panic.
 	defer func() {
 		if r := recover(); r != nil {
 			err := fmt.Errorf("service: job %s runner panicked: %v", j.id, r)
+			j.log.Error("job runner panicked", "panic", fmt.Sprint(r))
 			for key, f := range leads {
 				s.unregisterFlight(key, f)
 				f.resolve(sweep.PointResult{Err: err})
@@ -294,6 +344,10 @@ func (s *Server) runJob(j *Job) {
 			OnStart: func(p sweep.Point) {
 				startedKeys[p.Key()] = true
 				s.metrics.pointsRunning.Add(1)
+				if s.log.Enabled(context.Background(), slog.LevelDebug) {
+					j.log.Debug("point started",
+						"index", idxByKey[p.Key()], "point", p.String())
+				}
 			},
 			OnPoint: func(_, _ int, pr sweep.PointResult) {
 				key := pr.Point.Key()
@@ -326,6 +380,38 @@ func (s *Server) runJob(j *Job) {
 	}
 }
 
+// logPoint emits one point's completion line, escalating failures to
+// errors and slow executions to warnings.
+func (s *Server) logPoint(j *Job, i int, pr sweep.PointResult, status string) {
+	level := slog.LevelInfo
+	msg := "point finished"
+	switch {
+	case status == "failed":
+		level, msg = slog.LevelError, "point failed"
+	case status == "canceled":
+		level, msg = slog.LevelWarn, "point canceled"
+	case status == "executed" && s.cfg.SlowPoint > 0 && pr.Elapsed > s.cfg.SlowPoint:
+		level, msg = slog.LevelWarn, "slow point"
+	}
+	if !s.log.Enabled(context.Background(), level) {
+		return
+	}
+	attrs := []any{
+		"index", i,
+		"point", pr.Point.String(),
+		"protocol", pr.Point.Protocol,
+		"status", status,
+		"elapsed", pr.Elapsed,
+	}
+	if status == "executed" && s.cfg.SlowPoint > 0 && pr.Elapsed > s.cfg.SlowPoint {
+		attrs = append(attrs, "slow_point_threshold", s.cfg.SlowPoint)
+	}
+	if pr.Err != nil {
+		attrs = append(attrs, "error", pr.Err.Error())
+	}
+	j.log.Log(context.Background(), level, msg, attrs...)
+}
+
 // unregisterFlight removes a flight from the table iff it is still the
 // registered one for key (a later job may have claimed the key anew).
 func (s *Server) unregisterFlight(key string, f *flight) {
@@ -336,8 +422,8 @@ func (s *Server) unregisterFlight(key string, f *flight) {
 	s.flightMu.Unlock()
 }
 
-// recordPoint settles one point of a job and updates the metrics; when
-// it is the job's last point it also settles the job.
+// recordPoint settles one point of a job and updates the metrics and
+// log stream; when it is the job's last point it also settles the job.
 func (s *Server) recordPoint(j *Job, i int, pr sweep.PointResult, coalesced bool) {
 	status, finished := j.resolvePoint(i, pr, coalesced, time.Now())
 	switch status {
@@ -353,7 +439,23 @@ func (s *Server) recordPoint(j *Job, i int, pr sweep.PointResult, coalesced bool
 	case "canceled":
 		s.metrics.pointsCanceled.Inc()
 	}
+	s.logPoint(j, i, pr, status)
+	// A full trace ring silently keeps only the newest window; surface
+	// the loss where operators look (metrics + the job's log stream)
+	// instead of only inside the exported file.
+	if pr.Trace != nil {
+		if dropped := pr.Trace.Dropped(); dropped > 0 {
+			s.metrics.traceDropped.Add(dropped)
+			j.log.Warn("trace ring dropped events",
+				"index", i, "point", pr.Point.String(), "dropped", dropped)
+		}
+	}
 	if finished {
+		v := j.view(false)
+		elapsed := time.Duration(0)
+		if v.StartedAt != nil && v.FinishedAt != nil {
+			elapsed = v.FinishedAt.Sub(*v.StartedAt)
+		}
 		switch j.currentState() {
 		case StateDone:
 			s.metrics.jobsDone.Inc()
@@ -362,6 +464,14 @@ func (s *Server) recordPoint(j *Job, i int, pr sweep.PointResult, coalesced bool
 		case StateCanceled:
 			s.metrics.jobsCanceled.Inc()
 		}
+		j.log.Info("job finished",
+			"state", string(v.State),
+			"elapsed", elapsed,
+			"executed", v.Counts.Executed,
+			"cached", v.Counts.Cached,
+			"coalesced", v.Counts.Coalesced,
+			"failed", v.Counts.Failed,
+			"canceled", v.Counts.Canceled)
 	}
 }
 
@@ -376,6 +486,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopped = true
 	s.mu.Unlock()
 	if !already {
+		s.log.Info("server draining",
+			"queue_depth", len(s.queue), "uptime", time.Since(s.startAt))
 		close(s.stop)
 	}
 
@@ -388,8 +500,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	select {
 	case <-s.drained:
+		if !already {
+			s.log.Info("server drained")
+		}
 	case <-ctx.Done():
 		err = ctx.Err()
+		s.log.Warn("drain timed out; persisting what settled", "error", err.Error())
 	}
 	if serr := s.saveState(); serr != nil && err == nil {
 		err = serr
@@ -407,8 +523,12 @@ type stateFile struct {
 }
 
 type stateJob struct {
-	ID   string     `json:"id"`
-	Spec sweep.Spec `json:"spec"`
+	ID string `json:"id"`
+	// RequestID keeps the job's correlation id across a restart, so a
+	// grep on the original submission's id still finds the restored
+	// job's lifecycle.
+	RequestID string     `json:"request_id,omitempty"`
+	Spec      sweep.Spec `json:"spec"`
 }
 
 // saveState writes the unfinished jobs (queued, or interrupted by this
@@ -424,7 +544,7 @@ func (s *Server) saveState() error {
 		j := s.jobs[id]
 		switch j.currentState() {
 		case StateQueued, StateRunning, StateCanceled:
-			st.Jobs = append(st.Jobs, stateJob{ID: j.id, Spec: j.spec})
+			st.Jobs = append(st.Jobs, stateJob{ID: j.id, RequestID: j.reqID, Spec: j.spec})
 		}
 	}
 	s.mu.Unlock()
@@ -451,6 +571,8 @@ func (s *Server) saveState() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: saving state: %w", err)
 	}
+	s.log.Info("queue state persisted",
+		"path", s.cfg.StatePath, "jobs", len(st.Jobs))
 	return nil
 }
 
@@ -481,7 +603,7 @@ func (s *Server) loadState() ([]*Job, error) {
 		if err != nil {
 			return nil, fmt.Errorf("service: restoring job %s: %w", sj.ID, err)
 		}
-		jobs = append(jobs, newJob(sj.ID, sj.Spec, points, time.Now()))
+		jobs = append(jobs, s.newJobLocked(sj.ID, sj.RequestID, sj.Spec, points))
 	}
 	return jobs, nil
 }

@@ -499,12 +499,12 @@ func TestServerGracefulShutdownAndResume(t *testing.T) {
 	}
 	// Job A: three gate points, one worker — the first blocks in the
 	// kernel, two never start. Job B stays queued behind it.
-	jA, err := s1.Submit(sweep.Spec{Apps: []string{"gate"}, Clusters: []string{"sci"}, Protocols: []string{"java_pf"}, Nodes: []int{1, 2, 3}})
+	jA, err := s1.Submit(context.Background(), sweep.Spec{Apps: []string{"gate"}, Clusters: []string{"sci"}, Protocols: []string{"java_pf"}, Nodes: []int{1, 2, 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	jB, err := s1.Submit(sweep.Spec{Apps: []string{"jacobi"}, Clusters: []string{"sci"}, Protocols: []string{"java_pf"}, Nodes: []int{1, 2}})
+	jB, err := s1.Submit(context.Background(), sweep.Spec{Apps: []string{"jacobi"}, Clusters: []string{"sci"}, Protocols: []string{"java_pf"}, Nodes: []int{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -527,7 +527,7 @@ func TestServerGracefulShutdownAndResume(t *testing.T) {
 	if jB.currentState() != StateQueued {
 		t.Fatalf("job B state %s, want still queued", jB.currentState())
 	}
-	if _, err := s1.Submit(sweep.Spec{Apps: []string{"jacobi"}}); err != ErrStopped {
+	if _, err := s1.Submit(context.Background(), sweep.Spec{Apps: []string{"jacobi"}}); err != ErrStopped {
 		t.Fatalf("submit after shutdown: %v, want ErrStopped", err)
 	}
 

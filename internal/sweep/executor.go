@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -48,6 +50,48 @@ type Executor struct {
 	// perturbing virtual time, so the traced repeat measures the same as
 	// the others. Cache hits carry no trace (nothing re-executes).
 	TraceCapacity int
+	// Logger, when non-nil, receives per-point diagnostics: cache hits
+	// and completions at Debug, failures at Error. The per-point call
+	// sites guard attribute construction behind Logger.Enabled, so a
+	// logger leveled above Debug costs zero allocations on the hot path
+	// (asserted by TestDisabledLoggerAllocatesNothing). Nil logs
+	// nothing. The logger is also handed to the harness pool, which
+	// reports isolated job panics on it.
+	Logger *slog.Logger
+}
+
+// logResolved emits one point's resolution line. It is the executor's
+// per-point logging hot path: every attribute is built only after the
+// level check, so a disabled level costs one Enabled call and nothing
+// else.
+func (x *Executor) logResolved(i int, pr *PointResult) {
+	if x.Logger == nil {
+		return
+	}
+	level := slog.LevelDebug
+	if pr.Err != nil {
+		level = slog.LevelError
+	}
+	if !x.Logger.Enabled(context.Background(), level) {
+		return
+	}
+	status := "executed"
+	switch {
+	case pr.Err != nil:
+		status = "failed"
+	case pr.Cached:
+		status = "cached"
+	}
+	attrs := []any{
+		"index", i,
+		"point", pr.Point.String(),
+		"status", status,
+		"elapsed", pr.Elapsed,
+	}
+	if pr.Err != nil {
+		attrs = append(attrs, "error", pr.Err.Error())
+	}
+	x.Logger.Log(context.Background(), level, "point resolved", attrs...)
 }
 
 // PointResult pairs a grid point with its outcome.
@@ -195,6 +239,7 @@ func (x *Executor) RunPoints(points []Point) (*Outcome, error) {
 	done := 0
 	report := func(i int) {
 		done++
+		x.logResolved(i, &out.Points[i])
 		if x.OnPoint != nil {
 			x.OnPoint(done, len(points), out.Points[i])
 		}
@@ -228,6 +273,7 @@ func (x *Executor) RunPoints(points []Point) (*Outcome, error) {
 	started := make(map[int]bool, len(points))
 	harness.RunJobsHooked(jobs, x.Workers, harness.PoolHooks{
 		Cancel: x.Cancel,
+		Logger: x.Logger,
 		OnStart: func(j int) {
 			i := refs[j].point
 			if !started[i] {

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/obslog"
+)
+
+// TestDisabledLoggerAllocatesNothing pins the hot-path contract of
+// Executor.Logger the same way PR 6 pinned the disabled tracer: when
+// the attached logger's level is above the per-point message levels,
+// resolving a point must not allocate for logging. The executor runs
+// one point per simulated grid cell; a sweep of a million points must
+// not pay a million formatting allocations for lines nobody will see.
+func TestDisabledLoggerAllocatesNothing(t *testing.T) {
+	pr := PointResult{
+		Point:   Point{App: "jacobi", Cluster: "sci", Protocol: "java_pf", Nodes: 2, ThreadsPerNode: 1},
+		Elapsed: 42 * time.Millisecond,
+	}
+	// Success lines log at Debug; a logger leveled at Error disables
+	// them without disabling failure reporting.
+	x := &Executor{Logger: obslog.New(io.Discard, slog.LevelError, obslog.FormatJSON)}
+	if allocs := testing.AllocsPerRun(200, func() {
+		x.logResolved(0, &pr)
+	}); allocs != 0 {
+		t.Fatalf("disabled-level point logging allocates %.1f times per point, want 0", allocs)
+	}
+	// A nil logger is free too.
+	x = &Executor{}
+	if allocs := testing.AllocsPerRun(200, func() {
+		x.logResolved(0, &pr)
+	}); allocs != 0 {
+		t.Fatalf("nil-logger point logging allocates %.1f times per point, want 0", allocs)
+	}
+}
+
+// TestExecutorLogsPointLifecycle asserts the executor's structured
+// diagnostics: cache hits and executions at Debug, failures at Error,
+// each carrying the point label and status.
+func TestExecutorLogsPointLifecycle(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := obslog.NewCapture(slog.LevelDebug)
+	spec := Spec{Apps: []string{"jacobi"}, Clusters: []string{"sci"}, Protocols: []string{"java_pf"}, Nodes: []int{1, 2}}
+	x := &Executor{Workers: 2, Cache: cache, NewApp: tinyApps, Logger: cap.Logger()}
+	if _, err := x.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cap.WithAttrValue("status", "executed")); got != 2 {
+		t.Errorf("executed lines = %d, want 2", got)
+	}
+
+	// Re-running the same spec serves both points from the cache.
+	cap = obslog.NewCapture(slog.LevelDebug)
+	x.Logger = cap.Logger()
+	if _, err := x.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cap.WithAttrValue("status", "cached")); got != 2 {
+		t.Errorf("cached lines = %d, want 2", got)
+	}
+
+	// An unknown app fails its point; the failure logs at Error with
+	// the error text attached.
+	cap = obslog.NewCapture(slog.LevelDebug)
+	points := []Point{{App: "nope", Cluster: "sci", Protocol: "java_pf", Nodes: 1, ThreadsPerNode: 1}}
+	out, err := (&Executor{Workers: 1, NewApp: tinyApps, Logger: cap.Logger()}).RunPoints(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", out.Failed)
+	}
+	failures := cap.WithAttrValue("status", "failed")
+	if len(failures) != 1 {
+		t.Fatalf("failure lines = %d, want 1", len(failures))
+	}
+	if failures[0].Level != slog.LevelError {
+		t.Errorf("failure logged at %v, want error", failures[0].Level)
+	}
+	if failures[0].Attr("error") == nil {
+		t.Error("failure line has no error attribute")
+	}
+}
+
+// TestPoolLogsIsolatedPanics: the harness pool converts in-job panics
+// to errors; with a logger attached the conversion is no longer silent.
+func TestPoolLogsIsolatedPanics(t *testing.T) {
+	cap := obslog.NewCapture(slog.LevelDebug)
+	points := []Point{
+		{App: "jacobi", Cluster: "sci", Protocol: "java_pf", Nodes: 1, ThreadsPerNode: 1},
+		{App: "boom", Cluster: "sci", Protocol: "java_pf", Nodes: 1, ThreadsPerNode: 1},
+	}
+	x := &Executor{
+		Workers: 2,
+		Logger:  cap.Logger(),
+		NewApp: func(name string, paperScale bool) (apps.App, error) {
+			if name == "boom" {
+				return panicApp{}, nil
+			}
+			return tinyApps(name, paperScale)
+		},
+	}
+	out, err := x.RunPoints(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", out.Failed)
+	}
+	poolLines := cap.ByMessage("pool job failed")
+	if len(poolLines) != 1 {
+		t.Fatalf("pool failure lines = %d, want 1", len(poolLines))
+	}
+	if msg, _ := poolLines[0].Attr("error").(string); !strings.Contains(msg, "panicked") {
+		t.Errorf("pool failure line error attr %q, want the isolated panic", msg)
+	}
+}
