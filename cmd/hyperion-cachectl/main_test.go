@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/sweep"
+	"repro/internal/vtime"
+)
+
+// legacyEntry mirrors the legacy cache file format (and the packed
+// store's payload): the sweep package's cacheEntry, reconstructed here
+// from its public JSON shape.
+type legacyEntry struct {
+	Version string         `json:"version"`
+	Point   sweep.Point    `json:"point"`
+	Result  harness.Result `json:"result"`
+}
+
+// writeLegacyTree fabricates a pre-packed one-JSON-file-per-point
+// cache under dir and returns its points.
+func writeLegacyTree(t *testing.T, dir string, n int) []sweep.Point {
+	t.Helper()
+	var pts []sweep.Point
+	for i := 0; i < n; i++ {
+		p := sweep.Point{
+			App: "jacobi", Cluster: "sci", Protocol: "java_pf",
+			Nodes: 1 + i, ThreadsPerNode: 1, Repeats: 1,
+		}
+		r := harness.Result{
+			App: p.App, Cluster: p.Cluster, Nodes: p.Nodes, Protocol: p.Protocol,
+			Workers: p.Nodes,
+			Time:    vtime.Time(i+1) * vtime.Time(vtime.Millisecond),
+			Check:   apps.Check{Summary: "ok", Valid: true},
+		}
+		key := p.Key()
+		blob, err := json.MarshalIndent(legacyEntry{Version: "hyperion-sweep-v3", Point: p, Result: r}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, key[:2], key+".json")
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// TestCachectlFullUpgrade drives the whole documented upgrade in one
+// invocation — migrate, compact, verify, stats — and checks the
+// resulting store serves every legacy point.
+func TestCachectlFullUpgrade(t *testing.T) {
+	legacy := filepath.Join(t.TempDir(), "legacy")
+	pts := writeLegacyTree(t, legacy, 6)
+	store := filepath.Join(t.TempDir(), "packed")
+
+	var out strings.Builder
+	err := run([]string{"-store", store, "-migrate-from", legacy, "-compact", "-verify", "-stats"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"6 entries imported, 0 skipped",
+		"compacted:",
+		"verified: 6 entries intact",
+		"live records:  6",
+		"stale records: 0",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	cache, err := sweep.OpenCache(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	for _, p := range pts {
+		if _, ok := cache.Get(p); !ok {
+			t.Errorf("migrated point missed after compaction: %s", p)
+		}
+	}
+	// The legacy tree was read, never modified.
+	matches, err := filepath.Glob(filepath.Join(legacy, "*", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != len(pts) {
+		t.Errorf("legacy tree has %d files after migration, want %d untouched", len(matches), len(pts))
+	}
+}
+
+// TestCachectlStatsOnly: -stats on a store that already has content,
+// without any mutation flags.
+func TestCachectlStatsOnly(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cache, err := sweep.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sweep.Point{App: "pi", Cluster: "sci", Protocol: "java_ic", Nodes: 2, ThreadsPerNode: 1, Repeats: 1}
+	if err := cache.Put(p, harness.Result{App: p.App, Check: apps.Check{Valid: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-store", dir, "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "live records:  1") {
+		t.Errorf("stats output:\n%s", out.String())
+	}
+}
+
+// TestCachectlErrors: the argument contract — a store is required,
+// idle invocations and unknown positionals are refused, and a missing
+// migration source fails loudly.
+func TestCachectlErrors(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	cases := [][]string{
+		{},                             // no -store
+		{"-store", dir},                // nothing to do
+		{"-store", dir, "-stats", "x"}, // stray positional
+		{"-store", dir, "-migrate-from", filepath.Join(dir, "absent")},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q) accepted, want error", args)
+		}
+	}
+	// -version short-circuits and never touches the store.
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Errorf("-version: %v", err)
+	}
+}

@@ -113,6 +113,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		defer cache.Close()
 		cfg.Cache = cache
 	}
 	s, err := service.New(cfg)

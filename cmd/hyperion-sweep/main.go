@@ -192,6 +192,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		defer cache.Close()
 		x.Cache = cache
 	}
 

@@ -1,0 +1,226 @@
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Compact rewrites every live record into fresh segments and deletes
+// the old ones, reclaiming superseded duplicates, stale-version records
+// and torn tails. The store stays usable throughout (Compact holds the
+// write lock) and the rewrite is crash-safe at every step:
+//
+//  1. Live records are written to temp files (swept by Open if left
+//     behind) and fsynced.
+//  2. The temp files are renamed to segment numbers above every
+//     existing segment. A crash here leaves old and new segments
+//     coexisting; latest-wins replay on the next Open yields exactly
+//     the live set.
+//  3. The old segments are deleted. A crash mid-delete leaves a subset,
+//     which the same replay handles.
+//
+// Records are written in sorted key order, so a compacted store's
+// layout is deterministic for a given live set.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("resultstore: store is closed")
+	}
+
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	oldSegs := make(map[int]bool)
+	s.filesMu.Lock()
+	for id := range s.files {
+		oldSegs[id] = true
+	}
+	s.filesMu.Unlock()
+	for _, e := range s.index {
+		oldSegs[e.seg] = true
+	}
+
+	// Phase 1: write the live set to temp files, tracking where each
+	// record's payload will live once the file is renamed.
+	type placed struct {
+		tmpIdx     int
+		payloadOff int64
+		payloadLen int
+	}
+	var (
+		tmpPaths []string
+		tmpFile  *os.File
+		tmpSize  int64
+		where    = make(map[string]placed, len(keys))
+	)
+	fail := func(err error) error {
+		if tmpFile != nil {
+			tmpFile.Close()
+		}
+		for _, p := range tmpPaths {
+			os.Remove(p) //nolint:errcheck // best-effort cleanup
+		}
+		return err
+	}
+	closeTmp := func() error {
+		if tmpFile == nil {
+			return nil
+		}
+		if err := tmpFile.Sync(); err != nil {
+			tmpFile.Close()
+			tmpFile = nil
+			return err
+		}
+		err := tmpFile.Close()
+		tmpFile = nil
+		return err
+	}
+	for _, k := range keys {
+		e := s.index[k]
+		f, err := s.segmentFile(e.seg)
+		if err != nil {
+			return fail(err)
+		}
+		payload := make([]byte, e.payloadLen)
+		if _, err := f.ReadAt(payload, e.payloadOff); err != nil {
+			return fail(fmt.Errorf("resultstore: compacting %s: %w", k, err))
+		}
+		rec, payloadRel, err := encodeRecord(k, s.opts.Version, e.meta, payload)
+		if err != nil {
+			return fail(err)
+		}
+		if tmpFile == nil || tmpSize >= s.opts.MaxSegmentBytes {
+			if err := closeTmp(); err != nil {
+				return fail(fmt.Errorf("resultstore: compacting: %w", err))
+			}
+			tf, err := os.CreateTemp(s.dir, tmpPrefix+"compact-*")
+			if err != nil {
+				return fail(fmt.Errorf("resultstore: compacting: %w", err))
+			}
+			tmpFile, tmpSize = tf, 0
+			tmpPaths = append(tmpPaths, tf.Name())
+		}
+		if _, err := tmpFile.Write(rec); err != nil {
+			return fail(fmt.Errorf("resultstore: compacting: %w", err))
+		}
+		where[k] = placed{
+			tmpIdx:     len(tmpPaths) - 1,
+			payloadOff: tmpSize + int64(payloadRel),
+			payloadLen: e.payloadLen,
+		}
+		tmpSize += int64(len(rec))
+	}
+	if err := closeTmp(); err != nil {
+		return fail(fmt.Errorf("resultstore: compacting: %w", err))
+	}
+
+	// Phase 2: rename into place above every existing segment.
+	newIDs := make([]int, len(tmpPaths))
+	for i, p := range tmpPaths {
+		id := s.nextSeg
+		s.nextSeg++
+		if err := os.Rename(p, s.segmentPath(id)); err != nil {
+			// Already-renamed files stay: they hold only live records and
+			// replay harmlessly. Unrenamed temps are swept.
+			for _, q := range tmpPaths[i:] {
+				os.Remove(q) //nolint:errcheck
+			}
+			return fmt.Errorf("resultstore: compacting: %w", err)
+		}
+		newIDs[i] = id
+	}
+
+	// Phase 3: swap the index to the new layout, drop the old segments.
+	for k, p := range where {
+		e := s.index[k]
+		e.seg = newIDs[p.tmpIdx]
+		e.payloadOff = p.payloadOff
+		e.payloadLen = p.payloadLen
+		s.index[k] = e
+	}
+	s.filesMu.Lock()
+	for id := range oldSegs {
+		if f, ok := s.files[id]; ok {
+			f.Close()
+			delete(s.files, id)
+		}
+		os.Remove(s.segmentPath(id)) //nolint:errcheck // replayed harmlessly if left
+	}
+	s.filesMu.Unlock()
+	s.stale = 0
+	s.torn = 0
+	s.active = 0 // next Put rotates onto a fresh segment
+	s.activeF = nil
+	s.size = 0
+	return nil
+}
+
+// Verify re-reads every segment from disk, checking record framing and
+// checksums, and cross-checks the live index against the replayed
+// state. It returns the live and stale record counts; a non-nil error
+// means on-disk corruption beyond the recoverable torn-tail kind (for
+// torn tails, see Stats). Verify is the integrity gate behind
+// hyperion-cachectl -verify.
+func (s *Store) Verify() (live, stale int, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("resultstore: store is closed")
+	}
+	segs := make(map[int]bool)
+	s.filesMu.Lock()
+	for id := range s.files {
+		segs[id] = true
+	}
+	s.filesMu.Unlock()
+	for _, e := range s.index {
+		segs[e.seg] = true
+	}
+	ids := make([]int, 0, len(segs))
+	for id := range segs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	replay := make(map[string]bool)
+	for _, id := range ids {
+		data, err := os.ReadFile(s.segmentPath(id))
+		if err != nil {
+			return 0, 0, fmt.Errorf("resultstore: verify: %w", err)
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, ok := decodeRecord(data[off:])
+			if !ok {
+				// The torn tail must be the *tail*: if the active segment
+				// (or a crashed append) left bad bytes, nothing valid may
+				// follow them in this segment.
+				break
+			}
+			if rec.version != s.opts.Version {
+				stale++
+			} else {
+				if replay[rec.key] {
+					stale++
+					live--
+				}
+				replay[rec.key] = true
+				live++
+			}
+			off += n
+		}
+	}
+	for k := range s.index {
+		if !replay[k] {
+			return live, stale, fmt.Errorf("resultstore: verify: indexed key %s not found on disk", k)
+		}
+	}
+	if live != len(s.index) {
+		return live, stale, fmt.Errorf("resultstore: verify: %d live records on disk, index holds %d", live, len(s.index))
+	}
+	return live, stale, nil
+}

@@ -1,0 +1,579 @@
+// Package resultstore is a packed, indexed, append-only record store —
+// the storage layer under the sweep result cache. One JSON file per
+// point worked until sweeps grew to millions of points; a directory
+// tree of tiny files then falls over on filesystem limits (inodes,
+// directory fan-out) and on scan latency long before anything else
+// saturates. This package stores the same content-addressed records in
+// a handful of large segment files instead:
+//
+//   - A record is length-prefixed and CRC32-checksummed, carrying a
+//     key (the caller's content hash), a format-version string, a small
+//     meta blob and the payload proper.
+//   - Segments are append-only and immutable once rotated; the active
+//     segment rotates at Options.MaxSegmentBytes.
+//   - The full index (key -> segment/offset/length + meta) lives in
+//     memory and is rebuilt by scanning the segments on Open. Lookups
+//     and meta-only queries never touch the disk; only payload reads
+//     do, and those are counted (ReadStats) so callers can prove their
+//     query plans don't degenerate into full scans.
+//   - A torn tail — the crash window of an in-flight append — is
+//     detected by the checksum on Open and dropped; every record before
+//     it stays live.
+//   - Compact rewrites the live records into fresh segments and deletes
+//     the old ones, reclaiming superseded duplicates, stale-version
+//     records and torn tails. The rewrite is crash-safe: compacted
+//     segments are renamed into place with sequence numbers above every
+//     existing segment, so an interrupted compaction at worst leaves
+//     duplicates that latest-wins replay resolves identically.
+//
+// Concurrency: a Store is safe for concurrent use by any number of
+// goroutines. Distinct processes may share a directory — each creates
+// its own active segment (O_EXCL), so appends never interleave — but a
+// process only sees records that existed when it opened the store,
+// exactly the "worst case is one point computed twice" contract the
+// per-file cache had.
+package resultstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Options parameterize Open.
+type Options struct {
+	// Version is the current record-format version of the caller's
+	// payloads. Records written by Put carry it; records found on open
+	// with a different version are treated as stale — invisible to Get
+	// and dropped by Compact.
+	Version string
+	// MaxSegmentBytes rotates the active segment when it grows past
+	// this size; <= 0 selects 64 MiB.
+	MaxSegmentBytes int64
+}
+
+// defaultMaxSegmentBytes keeps segments big enough to amortize file
+// overhead and small enough that compaction I/O stays incremental.
+const defaultMaxSegmentBytes = 64 << 20
+
+// tmpPrefix marks in-progress files (compaction output). Leftovers from
+// a killed process are swept on Open.
+const tmpPrefix = ".tmpseg-"
+
+// segSuffix is the segment-file extension.
+const segSuffix = ".seg"
+
+// entry locates one live record.
+type entry struct {
+	seg        int
+	payloadOff int64
+	payloadLen int
+	meta       []byte
+}
+
+// Stats is a point-in-time accounting of the store.
+type Stats struct {
+	// Segments is the number of segment files, the active one included.
+	Segments int
+	// LiveRecords is the number of distinct keys served by the index.
+	LiveRecords int
+	// StaleRecords counts records present in segments but not in the
+	// index: superseded by a later write or carrying a non-current
+	// version. Compaction reclaims them.
+	StaleRecords int
+	// TornTails counts segments whose tail failed validation on open
+	// (the crash window of an interrupted append). The torn bytes are
+	// unreachable and reclaimed by compaction.
+	TornTails int
+	// SizeBytes is the total size of all segment files.
+	SizeBytes int64
+}
+
+// ReadStats counts payload reads since the store opened (atomic; reads
+// of the counters are safe concurrently with store use).
+type ReadStats struct {
+	// RecordsRead is the number of record payloads fetched from disk.
+	RecordsRead int64
+	// BytesRead is the payload bytes those fetches returned.
+	BytesRead int64
+}
+
+// Store is a packed append-only record store. Open one with Open.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.RWMutex // guards index, active*, size, nextSeg, stale, torn, closed
+	index   map[string]entry
+	active  int      // active segment id; 0 = none yet
+	activeF *os.File // active segment handle (also registered in files)
+	size    int64    // bytes appended to the active segment
+	nextSeg int      // next segment id to allocate
+	stale   int
+	torn    int
+	closed  bool
+
+	// files caches open read handles, the active segment included. It
+	// has its own lock so Get can lazily open a segment while holding
+	// only s.mu.RLock.
+	filesMu sync.Mutex
+	files   map[int]*os.File
+
+	recordsRead atomic.Int64
+	bytesRead   atomic.Int64
+}
+
+// Open opens (creating if needed) a store rooted at dir, sweeps
+// leftover temp files, and rebuilds the index by scanning every
+// segment. A segment whose tail fails validation contributes its valid
+// prefix; the torn bytes are ignored (and counted in Stats.TornTails).
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty directory")
+	}
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = defaultMaxSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: opening: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		index:   make(map[string]entry),
+		files:   make(map[int]*os.File),
+		nextSeg: 1,
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: opening: %w", err)
+	}
+	var segIDs []int
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A killed compaction's half-written output: never referenced,
+			// safe to remove.
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck // best-effort sweep
+			continue
+		}
+		if !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		if de.IsDir() {
+			return nil, fmt.Errorf("resultstore: opening: %s is a directory", name)
+		}
+		id, err := segmentID(name)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: opening: %w", err)
+		}
+		segIDs = append(segIDs, id)
+	}
+	// Replay in sequence order so the latest record for a key wins.
+	sort.Ints(segIDs)
+	for _, id := range segIDs {
+		if err := s.scanSegment(id); err != nil {
+			s.closeLocked()
+			return nil, err
+		}
+		if id >= s.nextSeg {
+			s.nextSeg = id + 1
+		}
+	}
+	return s, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the store's file handles. The store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Store) closeLocked() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.filesMu.Lock()
+	defer s.filesMu.Unlock()
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = make(map[int]*os.File)
+	return first
+}
+
+// Len reports the number of live records. It is exact and cannot fail:
+// the count comes from the in-memory index, and an unreadable store
+// already failed at Open instead of silently looking empty.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats reports the store's current shape.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		LiveRecords:  len(s.index),
+		StaleRecords: s.stale,
+		TornTails:    s.torn,
+	}
+	seen := make(map[int]bool)
+	s.filesMu.Lock()
+	for id := range s.files {
+		seen[id] = true
+	}
+	s.filesMu.Unlock()
+	for _, e := range s.index {
+		seen[e.seg] = true
+	}
+	st.Segments = len(seen)
+	for id := range seen {
+		if fi, err := os.Stat(s.segmentPath(id)); err == nil {
+			st.SizeBytes += fi.Size()
+		}
+	}
+	return st
+}
+
+// ReadCounters reports cumulative payload-read counters. They are the
+// proof obligation of index pushdown: a filtered query that only
+// touches matching records moves these by the matches, not the store
+// size.
+func (s *Store) ReadCounters() ReadStats {
+	return ReadStats{
+		RecordsRead: s.recordsRead.Load(),
+		BytesRead:   s.bytesRead.Load(),
+	}
+}
+
+// Put appends a record for key, superseding any previous record with
+// the same key. meta should stay small — it is held in memory by the
+// index and is the substrate of Range queries; payload is only read
+// back on Get.
+func (s *Store) Put(key string, meta, payload []byte) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("resultstore: bad key length %d", len(key))
+	}
+	rec, payloadRel, err := encodeRecord(key, s.opts.Version, meta, payload)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("resultstore: store is closed")
+	}
+	if s.active == 0 || s.size >= s.opts.MaxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	f := s.activeF
+	off := s.size
+	if _, err := f.WriteAt(rec, off); err != nil {
+		// The append may have landed partially; truncate it back so the
+		// segment's valid prefix stays appendable. If even that fails,
+		// abandon the segment — the next Put rotates, and the torn tail
+		// is dropped on the next Open.
+		if terr := f.Truncate(off); terr != nil {
+			s.active = 0
+		}
+		return fmt.Errorf("resultstore: put: %w", err)
+	}
+	s.size = off + int64(len(rec))
+	if _, existed := s.index[key]; existed {
+		s.stale++
+	}
+	s.index[key] = entry{
+		seg:        s.active,
+		payloadOff: off + int64(payloadRel),
+		payloadLen: len(payload),
+		meta:       append([]byte(nil), meta...),
+	}
+	return nil
+}
+
+// Get returns the payload of the live record for key. The bool reports
+// presence; the error reports an I/O failure reading a record the index
+// knows exists.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	e, ok := s.index[key]
+	if !ok || s.closed {
+		s.mu.RUnlock()
+		return nil, false, nil
+	}
+	f, err := s.segmentFile(e.seg)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, false, err
+	}
+	payload := make([]byte, e.payloadLen)
+	_, err = f.ReadAt(payload, e.payloadOff)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, false, fmt.Errorf("resultstore: reading %s: %w", key, err)
+	}
+	s.recordsRead.Add(1)
+	s.bytesRead.Add(int64(len(payload)))
+	return payload, true, nil
+}
+
+// Meta returns the live record's meta blob without touching the disk.
+func (s *Store) Meta(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), e.meta...), true
+}
+
+// Range calls fn for every live record's key and meta, in unspecified
+// order, without reading any payload. fn must not call back into the
+// store's mutating methods; returning false stops the iteration. The
+// meta slice is shared — fn must not retain or mutate it.
+func (s *Store) Range(fn func(key string, meta []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, e := range s.index {
+		if !fn(k, e.meta) {
+			return
+		}
+	}
+}
+
+// segmentFile returns (opening lazily) the handle of segment id. It
+// takes only filesMu, so readers holding s.mu.RLock may call it.
+func (s *Store) segmentFile(id int) (*os.File, error) {
+	s.filesMu.Lock()
+	defer s.filesMu.Unlock()
+	if f, ok := s.files[id]; ok {
+		return f, nil
+	}
+	f, err := os.Open(s.segmentPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: opening segment %d: %w", id, err)
+	}
+	s.files[id] = f
+	return f, nil
+}
+
+// rotateLocked allocates a fresh active segment. O_EXCL skips sequence
+// numbers claimed by concurrent processes sharing the directory.
+func (s *Store) rotateLocked() error {
+	for tries := 0; tries < 1<<16; tries++ {
+		id := s.nextSeg
+		s.nextSeg++
+		f, err := os.OpenFile(s.segmentPath(id), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+		if os.IsExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("resultstore: rotating: %w", err)
+		}
+		s.filesMu.Lock()
+		s.files[id] = f
+		s.filesMu.Unlock()
+		s.active = id
+		s.activeF = f
+		s.size = 0
+		return nil
+	}
+	return fmt.Errorf("resultstore: rotating: no free segment number")
+}
+
+func (s *Store) segmentPath(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%08d%s", id, segSuffix))
+}
+
+// segmentID parses a segment file name.
+func segmentID(name string) (int, error) {
+	base := strings.TrimSuffix(name, segSuffix)
+	var id int
+	if _, err := fmt.Sscanf(base, "%d", &id); err != nil || id <= 0 || fmt.Sprintf("%08d", id) != base {
+		return 0, fmt.Errorf("bad segment name %q", name)
+	}
+	return id, nil
+}
+
+// scanSegment replays one segment into the index. The first invalid
+// record ends the scan: everything after it is a torn tail (counted,
+// unreachable, reclaimed by compaction).
+func (s *Store) scanSegment(id int) error {
+	f, err := os.Open(s.segmentPath(id))
+	if err != nil {
+		return fmt.Errorf("resultstore: opening segment %d: %w", id, err)
+	}
+	s.filesMu.Lock()
+	s.files[id] = f
+	s.filesMu.Unlock()
+	data, err := os.ReadFile(s.segmentPath(id))
+	if err != nil {
+		return fmt.Errorf("resultstore: scanning segment %d: %w", id, err)
+	}
+	off := int64(0)
+	for int64(len(data))-off >= recordHeaderLen {
+		rec, n, ok := decodeRecord(data[off:])
+		if !ok {
+			s.torn++
+			return nil
+		}
+		if rec.version != s.opts.Version {
+			s.stale++
+		} else {
+			if _, existed := s.index[rec.key]; existed {
+				s.stale++
+			}
+			s.index[rec.key] = entry{
+				seg:        id,
+				payloadOff: off + int64(rec.payloadRel),
+				payloadLen: len(rec.payload),
+				meta:       append([]byte(nil), rec.meta...),
+			}
+		}
+		off += int64(n)
+	}
+	if off < int64(len(data)) {
+		s.torn++
+	}
+	return nil
+}
+
+// --- record encoding ------------------------------------------------------
+
+// Record wire format, little-endian:
+//
+//	u32 bodyLen
+//	u32 crc32(body)   IEEE, over the body bytes
+//	body:
+//	  u8  format (recordFormat)
+//	  u16 keyLen,     key bytes
+//	  u16 versionLen, version bytes
+//	  u32 metaLen,    meta bytes
+//	  u32 payloadLen, payload bytes
+const (
+	recordFormat    = 1
+	recordHeaderLen = 8
+	maxKeyLen       = 1 << 10
+	maxBodyLen      = 1 << 30
+)
+
+type record struct {
+	key        string
+	version    string
+	meta       []byte
+	payload    []byte
+	payloadRel int // payload offset relative to the record start
+}
+
+func encodeRecord(key, version string, meta, payload []byte) (rec []byte, payloadRel int, err error) {
+	if len(version) > 1<<10 {
+		return nil, 0, fmt.Errorf("resultstore: version string too long")
+	}
+	bodyLen := 1 + 2 + len(key) + 2 + len(version) + 4 + len(meta) + 4 + len(payload)
+	if bodyLen > maxBodyLen {
+		return nil, 0, fmt.Errorf("resultstore: record of %d bytes exceeds limit", bodyLen)
+	}
+	buf := make([]byte, recordHeaderLen+bodyLen)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(bodyLen))
+	b := buf[recordHeaderLen:]
+	b[0] = recordFormat
+	i := 1
+	binary.LittleEndian.PutUint16(b[i:], uint16(len(key)))
+	i += 2
+	i += copy(b[i:], key)
+	binary.LittleEndian.PutUint16(b[i:], uint16(len(version)))
+	i += 2
+	i += copy(b[i:], version)
+	binary.LittleEndian.PutUint32(b[i:], uint32(len(meta)))
+	i += 4
+	i += copy(b[i:], meta)
+	binary.LittleEndian.PutUint32(b[i:], uint32(len(payload)))
+	i += 4
+	payloadRel = recordHeaderLen + i
+	copy(b[i:], payload)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(b))
+	return buf, payloadRel, nil
+}
+
+// decodeRecord parses the record at the head of data. ok is false when
+// the bytes do not form a complete, checksum-valid record — a torn or
+// corrupt tail.
+func decodeRecord(data []byte) (rec record, size int, ok bool) {
+	if len(data) < recordHeaderLen {
+		return record{}, 0, false
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(data[0:]))
+	if bodyLen < 13 || bodyLen > maxBodyLen || len(data) < recordHeaderLen+bodyLen {
+		return record{}, 0, false
+	}
+	body := data[recordHeaderLen : recordHeaderLen+bodyLen]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:]) {
+		return record{}, 0, false
+	}
+	if body[0] != recordFormat {
+		return record{}, 0, false
+	}
+	i := 1
+	need := func(n int) bool { return bodyLen-i >= n }
+	if !need(2) {
+		return record{}, 0, false
+	}
+	keyLen := int(binary.LittleEndian.Uint16(body[i:]))
+	i += 2
+	if !need(keyLen) {
+		return record{}, 0, false
+	}
+	rec.key = string(body[i : i+keyLen])
+	i += keyLen
+	if !need(2) {
+		return record{}, 0, false
+	}
+	verLen := int(binary.LittleEndian.Uint16(body[i:]))
+	i += 2
+	if !need(verLen) {
+		return record{}, 0, false
+	}
+	rec.version = string(body[i : i+verLen])
+	i += verLen
+	if !need(4) {
+		return record{}, 0, false
+	}
+	metaLen := int(binary.LittleEndian.Uint32(body[i:]))
+	i += 4
+	if metaLen < 0 || !need(metaLen) {
+		return record{}, 0, false
+	}
+	rec.meta = body[i : i+metaLen]
+	i += metaLen
+	if !need(4) {
+		return record{}, 0, false
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(body[i:]))
+	i += 4
+	if payloadLen < 0 || bodyLen-i != payloadLen {
+		return record{}, 0, false
+	}
+	rec.payloadRel = recordHeaderLen + i
+	rec.payload = body[i : i+payloadLen]
+	return rec, recordHeaderLen + bodyLen, true
+}

@@ -1,0 +1,424 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.Version == "" {
+		opts.Version = "v-test"
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	meta := []byte(`{"app":"pi"}`)
+	payload := []byte(`{"result":42}`)
+	if err := s.Put("k1", meta, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k1")
+	if err != nil || !ok {
+		t.Fatalf("Get = ok %v, err %v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mutated: %q", got)
+	}
+	m, ok := s.Meta("k1")
+	if !ok || !bytes.Equal(m, meta) {
+		t.Fatalf("Meta = %q, %v", m, ok)
+	}
+	if _, ok, _ := s.Get("absent"); ok {
+		t.Error("hit on absent key")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestReopenRebuildsIndexAndLatestWins(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%03d", i%10) // 10 keys, 10 writes each
+		if err := s.Put(key, []byte(fmt.Sprintf(`{"i":%d}`, i%10)), []byte(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	if st := s.Stats(); st.StaleRecords != 90 {
+		t.Errorf("StaleRecords = %d, want 90", st.StaleRecords)
+	}
+	s.Close()
+
+	r := openT(t, dir, Options{})
+	if r.Len() != 10 {
+		t.Fatalf("reopened Len = %d, want 10", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		got, ok, err := r.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = ok %v, err %v", key, ok, err)
+		}
+		if want := fmt.Sprintf("gen-%d", 90+i); string(got) != want {
+			t.Errorf("Get(%s) = %q, want %q (latest write wins)", key, got, want)
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{MaxSegmentBytes: 256})
+	payload := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), nil, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 5 {
+		t.Errorf("Segments = %d, want several (rotation at 256 bytes)", st.Segments)
+	}
+	if st.LiveRecords != 20 {
+		t.Errorf("LiveRecords = %d, want 20", st.LiveRecords)
+	}
+	// Every record still readable across the rotated segments.
+	for i := 0; i < 20; i++ {
+		if _, ok, err := s.Get(fmt.Sprintf("k%02d", i)); !ok || err != nil {
+			t.Fatalf("Get(k%02d) after rotation = ok %v, err %v", i, ok, err)
+		}
+	}
+	s.Close()
+	r := openT(t, dir, Options{MaxSegmentBytes: 256})
+	if r.Len() != 20 {
+		t.Errorf("reopened Len = %d, want 20", r.Len())
+	}
+}
+
+// TestTornTailRecovery is the crash-window test: a record torn mid-write
+// must be dropped on reopen, and only the torn tail — every record
+// before it stays live.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), nil, bytes.Repeat([]byte{byte('a' + i)}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	seg := filepath.Join(dir, "00000001.seg")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the middle of the last record.
+	if err := os.Truncate(seg, fi.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir, Options{})
+	if r.Len() != 4 {
+		t.Fatalf("Len after torn tail = %d, want 4 (only the torn record dropped)", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		got, ok, err := r.Get(fmt.Sprintf("k%d", i))
+		if !ok || err != nil {
+			t.Fatalf("Get(k%d) = ok %v, err %v", i, ok, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte('a' + i)}, 50)) {
+			t.Errorf("k%d payload corrupted after recovery", i)
+		}
+	}
+	if _, ok, _ := r.Get("k4"); ok {
+		t.Error("torn record served")
+	}
+	if st := r.Stats(); st.TornTails != 1 {
+		t.Errorf("TornTails = %d, want 1", st.TornTails)
+	}
+	// New appends land in a fresh segment; another reopen sees both.
+	if err := r.Put("k5", nil, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2 := openT(t, dir, Options{})
+	if r2.Len() != 5 {
+		t.Errorf("Len after post-recovery append = %d, want 5", r2.Len())
+	}
+}
+
+// TestCorruptTailByBitFlip covers the checksum (not just the framing):
+// flipping one payload byte of the final record invalidates it on
+// reopen.
+func TestCorruptTailByBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if err := s.Put("a", nil, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", nil, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	seg := filepath.Join(dir, "00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, dir, Options{})
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (checksum must catch the flip)", r.Len())
+	}
+	if _, _, err := r.Verify(); err != nil {
+		t.Errorf("Verify after recovery: %v (torn tails are recoverable, not corruption)", err)
+	}
+}
+
+func TestStaleVersionRecordsInvisible(t *testing.T) {
+	dir := t.TempDir()
+	old := openT(t, dir, Options{Version: "v-old"})
+	if err := old.Put("k", nil, []byte("old payload")); err != nil {
+		t.Fatal(err)
+	}
+	old.Close()
+
+	s := openT(t, dir, Options{Version: "v-new"})
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("stale-version record served")
+	}
+	if st := s.Stats(); st.StaleRecords != 1 {
+		t.Errorf("StaleRecords = %d, want 1", st.StaleRecords)
+	}
+	if err := s.Put("k", nil, []byte("new payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k")
+	if !ok || err != nil || string(got) != "new payload" {
+		t.Fatalf("Get after re-put = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestCompactDropsDeadRecords(t *testing.T) {
+	dir := t.TempDir()
+	old := openT(t, dir, Options{Version: "v-old", MaxSegmentBytes: 512})
+	for i := 0; i < 8; i++ {
+		if err := old.Put(fmt.Sprintf("stale-%d", i), nil, bytes.Repeat([]byte("s"), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old.Close()
+
+	s := openT(t, dir, Options{Version: "v-new", MaxSegmentBytes: 512})
+	for i := 0; i < 8; i++ {
+		for gen := 0; gen < 3; gen++ {
+			if err := s.Put(fmt.Sprintf("live-%d", i), []byte(`{"m":1}`), []byte(fmt.Sprintf("gen-%d-%d", i, gen))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := s.Stats()
+	if before.StaleRecords == 0 {
+		t.Fatal("test needs stale records to reclaim")
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.LiveRecords != 8 || after.StaleRecords != 0 || after.TornTails != 0 {
+		t.Errorf("after compact: %+v, want 8 live, 0 stale, 0 torn", after)
+	}
+	if after.SizeBytes >= before.SizeBytes {
+		t.Errorf("compaction grew the store: %d -> %d bytes", before.SizeBytes, after.SizeBytes)
+	}
+	for i := 0; i < 8; i++ {
+		got, ok, err := s.Get(fmt.Sprintf("live-%d", i))
+		if !ok || err != nil || string(got) != fmt.Sprintf("gen-%d-2", i) {
+			t.Fatalf("live-%d after compact = %q, %v, %v", i, got, ok, err)
+		}
+	}
+	if live, stale, err := s.Verify(); err != nil || live != 8 || stale != 0 {
+		t.Errorf("Verify after compact = %d live, %d stale, %v", live, stale, err)
+	}
+
+	// The compacted layout must survive a reopen identically.
+	s.Close()
+	r := openT(t, dir, Options{Version: "v-new", MaxSegmentBytes: 512})
+	if r.Len() != 8 {
+		t.Errorf("reopened Len = %d, want 8", r.Len())
+	}
+	if err := r.Put("post", nil, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 9 {
+		t.Errorf("Len after post-compact put = %d, want 9", r.Len())
+	}
+}
+
+// TestOpenSweepsTempFiles is the regression test for the orphaned
+// temp-file leak: files a killed process left behind must be removed on
+// the next open.
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	planted := filepath.Join(dir, tmpPrefix+"compact-12345")
+	if err := os.WriteFile(planted, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir, Options{})
+	if _, err := os.Stat(planted); !os.IsNotExist(err) {
+		t.Errorf("temp file survived Open: stat err = %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("temp file counted as records: Len = %d", s.Len())
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("", Options{Version: "v"}); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// A directory squatting on a segment name must fail loudly, not
+	// silently report an empty store (the Len-swallows-errors bug).
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "00000001.seg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Version: "v"}); err == nil {
+		t.Error("unreadable segment accepted; store would look empty-but-healthy")
+	}
+}
+
+func TestReadCountersCountOnlyPayloadReads(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), []byte(`{"app":"pi"}`), bytes.Repeat([]byte("p"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs := s.ReadCounters(); rs.RecordsRead != 0 {
+		t.Fatalf("writes moved the read counter: %+v", rs)
+	}
+	// Meta-only iteration reads nothing from disk.
+	n := 0
+	s.Range(func(string, []byte) bool { n++; return true })
+	if n != 50 {
+		t.Fatalf("Range visited %d records, want 50", n)
+	}
+	if rs := s.ReadCounters(); rs.RecordsRead != 0 {
+		t.Errorf("Range moved the read counter: %+v", rs)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := s.Get(fmt.Sprintf("k%02d", i)); !ok || err != nil {
+			t.Fatal(ok, err)
+		}
+	}
+	rs := s.ReadCounters()
+	if rs.RecordsRead != 3 || rs.BytesRead != 300 {
+		t.Errorf("ReadCounters = %+v, want 3 records / 300 bytes", rs)
+	}
+}
+
+// TestConcurrentPutGetRange is the -race test: concurrent writers,
+// readers and iterators over one store, with rotation in play.
+func TestConcurrentPutGetRange(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{MaxSegmentBytes: 4 << 10})
+	const (
+		writers = 4
+		perW    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("w%d-k%03d", w, i)
+				if err := s.Put(key, []byte(`{"w":1}`), bytes.Repeat([]byte{byte('A' + w)}, 64)); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok, err := s.Get(key); err != nil || !ok || len(got) != 64 {
+					t.Errorf("Get(%s) after Put = ok %v len %d err %v", key, ok, len(got), err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Range(func(key string, meta []byte) bool { return true })
+				s.Len()
+				s.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perW {
+		t.Errorf("Len = %d, want %d", s.Len(), writers*perW)
+	}
+	if live, _, err := s.Verify(); err != nil || live != writers*perW {
+		t.Errorf("Verify = %d live, %v", live, err)
+	}
+}
+
+// TestTwoHandlesShareDirectory models two processes on one store
+// directory: each appends to its own segment, and a fresh open sees
+// both sets of records.
+func TestTwoHandlesShareDirectory(t *testing.T) {
+	dir := t.TempDir()
+	a := openT(t, dir, Options{})
+	b := openT(t, dir, Options{})
+	if err := a.Put("from-a", nil, []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("from-b", nil, []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+	r := openT(t, dir, Options{})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (both processes' appends visible)", r.Len())
+	}
+	for _, k := range []string{"from-a", "from-b"} {
+		if _, ok, err := r.Get(k); !ok || err != nil {
+			t.Errorf("Get(%s) = ok %v, err %v", k, ok, err)
+		}
+	}
+}
+
+func TestRecordEncodingRejectsBadKeys(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	if err := s.Put("", nil, []byte("x")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Put(string(bytes.Repeat([]byte("k"), maxKeyLen+1)), nil, nil); err == nil {
+		t.Error("oversized key accepted")
+	}
+}

@@ -204,8 +204,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	point := 0
 	if v := r.URL.Query().Get("point"); v != "" {
 		var err error
-		if point, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, "bad point %q", v)
+		// A negative index is malformed, not merely absent: 400, like
+		// every other unparsable parameter, not 404.
+		if point, err = strconv.Atoi(v); err != nil || point < 0 {
+			writeError(w, http.StatusBadRequest, "bad point %q: want a non-negative index", v)
 			return
 		}
 	}
@@ -221,76 +223,149 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResults queries the content-addressed result cache. Filters
-// (all optional, ANDed): app, cluster, protocol, nodes, tpn, paperscale.
+// (all optional, ANDed): app, cluster, protocol, nodes, tpn,
+// paperscale. The filter runs on the store's in-memory index; only the
+// returned page's payloads are read from disk. Pagination: ?limit=N
+// caps the returned page (default: everything), ?offset=M skips the
+// first M matches; "count" in the response is always the total number
+// of matches, so a client pages with offset += limit until offset >=
+// count. With ?stream=sse the selection is instead delivered
+// incrementally as Server-Sent Events — one "result" event per point,
+// then a terminal "done" event — so arbitrarily large result sets
+// never materialize in one response body.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Cache == nil {
 		writeError(w, http.StatusServiceUnavailable, "server runs without a result cache")
 		return
 	}
 	q := r.URL.Query()
-	var nodes, tpn int
+	var f sweep.Filter
+	f.App = q.Get("app")
+	f.Protocol = q.Get("protocol")
 	var err error
 	if v := q.Get("nodes"); v != "" {
-		if nodes, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, "bad nodes %q", v)
+		// Zero or negative node counts exist in no grid: they are
+		// malformed filters (previously accepted, matching nothing or —
+		// worse, for 0 — everything), not empty selections.
+		if f.Nodes, err = strconv.Atoi(v); err != nil || f.Nodes <= 0 {
+			writeError(w, http.StatusBadRequest, "bad nodes %q: want a positive integer", v)
 			return
 		}
 	}
 	if v := q.Get("tpn"); v != "" {
-		if tpn, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, "bad tpn %q", v)
+		if f.ThreadsPerNode, err = strconv.Atoi(v); err != nil || f.ThreadsPerNode <= 0 {
+			writeError(w, http.StatusBadRequest, "bad tpn %q: want a positive integer", v)
 			return
 		}
 	}
-	var paperScale *bool
 	if v := q.Get("paperscale"); v != "" {
 		b, err := strconv.ParseBool(v)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad paperscale %q", v)
 			return
 		}
-		paperScale = &b
+		f.PaperScale = &b
 	}
-	cluster := q.Get("cluster")
-	if cluster != "" {
-		if cluster, err = sweep.CanonicalCluster(cluster); err != nil {
+	if v := q.Get("cluster"); v != "" {
+		if f.Cluster, err = sweep.CanonicalCluster(v); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
+	offset, limit := 0, -1
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, "bad offset %q: want a non-negative integer", v)
+			return
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q: want a non-negative integer", v)
+			return
+		}
+	}
+	s.metrics.resultsQueries.Add(1)
 
-	entries, err := s.cfg.Cache.Entries()
+	switch q.Get("stream") {
+	case "":
+	case "sse":
+		s.streamResults(w, r, f, offset, limit)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "bad stream %q: only \"sse\" is supported", q.Get("stream"))
+		return
+	}
+
+	total, page, err := s.cfg.Cache.Query(f, offset, limit)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	matched := make([]sweep.CachedPoint, 0, len(entries))
-	for _, e := range entries {
-		p := e.Point
-		if app := q.Get("app"); app != "" && p.App != app {
-			continue
-		}
-		if cluster != "" && p.Cluster != cluster {
-			continue
-		}
-		if proto := q.Get("protocol"); proto != "" && p.Protocol != proto {
-			continue
-		}
-		if nodes != 0 && p.Nodes != nodes {
-			continue
-		}
-		if tpn != 0 && p.ThreadsPerNode != tpn {
-			continue
-		}
-		if paperScale != nil && p.PaperScale != *paperScale {
-			continue
-		}
-		matched = append(matched, e)
-	}
 	writeJSON(w, http.StatusOK, struct {
 		Count   int                 `json:"count"`
+		Offset  int                 `json:"offset"`
 		Results []sweep.CachedPoint `json:"results"`
-	}{len(matched), matched})
+	}{total, offset, page})
+}
+
+// resultsChunk bounds how many cached points a results stream reads
+// from the store (and holds in memory) at once.
+const resultsChunk = 256
+
+// streamResults serves a results query as an SSE stream, reusing the
+// /events idiom: one "result" event per matching cached point, then a
+// terminal "done" event carrying the match total. The selection is
+// read from the store in resultsChunk-sized pages and flushed as each
+// page is written, so the stream is incremental end to end.
+func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, f sweep.Filter, offset, limit int) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	s.metrics.sseSubscribers.Add(1)
+	defer s.metrics.sseSubscribers.Add(-1)
+
+	sent, total := 0, 0
+	for {
+		want := resultsChunk
+		if limit >= 0 && limit-sent < want {
+			want = limit - sent
+		}
+		t, page, err := s.cfg.Cache.Query(f, offset+sent, want)
+		if err != nil {
+			// Headers are gone; all that is left is to end the stream
+			// without its terminal event, which clients read as failure.
+			return
+		}
+		total = t
+		for _, cp := range page {
+			data, err := json.Marshal(cp)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: result\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			sent++
+		}
+		fl.Flush()
+		if len(page) < want || want == 0 {
+			break
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+	fmt.Fprintf(w, "event: done\ndata: {\"count\": %d, \"streamed\": %d}\n\n", total, sent) //nolint:errcheck
+	fl.Flush()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -302,5 +377,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.metrics.render(len(s.queue))) //nolint:errcheck
+	io.WriteString(w, s.metrics.render(len(s.queue), s.cfg.Cache)) //nolint:errcheck
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // metrics is the server's operational instrumentation, exported in
@@ -33,6 +34,10 @@ type metrics struct {
 	pointsCanceled  stats.Counter
 
 	sseSubscribers stats.Counter // gauge
+
+	// resultsQueries counts GET /v1/results requests that passed
+	// parameter validation, streamed or not.
+	resultsQueries stats.Counter
 
 	// traceDropped accumulates trace.Buffer.Dropped over every resolved
 	// traced point: events lost to full rings, otherwise visible only
@@ -61,8 +66,10 @@ func (m *metrics) observePoint(protocol string, seconds float64) {
 }
 
 // render writes the text exposition. queueDepth is sampled by the caller
-// (it lives in the server's queue channel, not in a counter).
-func (m *metrics) render(queueDepth int) string {
+// (it lives in the server's queue channel, not in a counter); cache, when
+// the server has one, contributes the packed result store's shape and
+// read-traffic block.
+func (m *metrics) render(queueDepth int, cache *sweep.Cache) string {
 	var b strings.Builder
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -89,7 +96,20 @@ func (m *metrics) render(queueDepth int) string {
 	counter("hyperion_points_failed_total", "Grid points that failed.", m.pointsFailed.Value())
 	counter("hyperion_points_canceled_total", "Grid points canceled by shutdown.", m.pointsCanceled.Value())
 
-	gauge("hyperion_sse_subscribers", "Event streams currently attached.", m.sseSubscribers.Value())
+	gauge("hyperion_sse_subscribers", "Event streams currently attached (job /events and /v1/results?stream=sse).", m.sseSubscribers.Value())
+
+	counter("hyperion_results_queries_total", "GET /v1/results queries served (streamed included).", m.resultsQueries.Value())
+	if cache != nil {
+		st := cache.Store().Stats()
+		rc := cache.Store().ReadCounters()
+		gauge("hyperion_store_segments", "Segment files in the packed result store.", int64(st.Segments))
+		gauge("hyperion_store_live_records", "Result-store records currently served by the index.", int64(st.LiveRecords))
+		gauge("hyperion_store_stale_records", "Superseded or stale-version records awaiting compaction.", int64(st.StaleRecords))
+		gauge("hyperion_store_torn_tails", "Segments whose tail failed validation on open (interrupted appends).", int64(st.TornTails))
+		gauge("hyperion_store_size_bytes", "Total bytes across the store's segment files.", st.SizeBytes)
+		counter("hyperion_store_records_read_total", "Record payloads fetched from the store's segments.", rc.RecordsRead)
+		counter("hyperion_store_bytes_read_total", "Payload bytes those fetches returned.", rc.BytesRead)
+	}
 
 	counter("hyperion_trace_dropped_events_total", "Protocol-trace events overwritten by full rings across all traced points (size rings with -trace-capacity).", m.traceDropped.Value())
 

@@ -6,7 +6,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -53,6 +52,7 @@ func TestServerTraceEndpoint(t *testing.T) {
 	for path, want := range map[string]int{
 		"/v1/sweeps/" + id + "/trace?point=99": http.StatusNotFound,
 		"/v1/sweeps/" + id + "/trace?point=x":  http.StatusBadRequest,
+		"/v1/sweeps/" + id + "/trace?point=-1": http.StatusBadRequest, // malformed, not merely absent
 		"/v1/sweeps/no-such-job/trace":         http.StatusNotFound,
 	} {
 		resp, err := http.Get(ts.URL + path)
@@ -135,26 +135,26 @@ func TestRunStatsIdenticalAcrossSurfaces(t *testing.T) {
 	id := submit(t, ts.URL, `{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_pf"],"nodes":[2]}`)
 	waitTerminal(t, ts.URL, id)
 
-	// Surface 1: the cache entry on disk.
+	// Surface 1: the cache entry's stored payload — the exact bytes the
+	// packed store holds for the point.
 	var diskRaw json.RawMessage
-	err = filepath.WalkDir(cacheDir, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
-			return err
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		var e rawRunStats
-		if err := json.Unmarshal(data, &e); err != nil {
-			return err
-		}
-		diskRaw = e.Result.RunStats
-		return nil
+	keys := make([]string, 0, 1)
+	cache.Store().Range(func(key string, _ []byte) bool {
+		keys = append(keys, key)
+		return true
 	})
-	if err != nil {
+	if len(keys) != 1 {
+		t.Fatalf("%d cache records, want 1", len(keys))
+	}
+	payload, ok, err := cache.Store().Get(keys[0])
+	if err != nil || !ok {
+		t.Fatalf("stored payload: ok %v, err %v", ok, err)
+	}
+	var stored rawRunStats
+	if err := json.Unmarshal(payload, &stored); err != nil {
 		t.Fatal(err)
 	}
+	diskRaw = stored.Result.RunStats
 	if len(diskRaw) == 0 {
 		t.Fatal("no cache entry with run_stats on disk")
 	}

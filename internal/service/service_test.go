@@ -639,7 +639,7 @@ func TestMetricsRenderShape(t *testing.T) {
 	m.jobsSubmitted.Inc()
 	m.observePoint("java_pf", 0.002)
 	m.observePoint("java_ic", 0.1)
-	text := m.render(3)
+	text := m.render(3, nil)
 	for _, want := range []string{
 		"# TYPE hyperion_jobs_submitted_total counter",
 		"hyperion_jobs_submitted_total 1",
@@ -671,7 +671,7 @@ func TestMetricsRenderShape(t *testing.T) {
 func TestMetricsEveryMetricHasTypeLine(t *testing.T) {
 	m := newMetrics()
 	m.observePoint("java_pf", 0.002)
-	text := m.render(0)
+	text := m.render(0, nil)
 	types := map[string]string{} // family -> declared type
 	for _, line := range strings.Split(text, "\n") {
 		if strings.HasPrefix(line, "# TYPE ") {

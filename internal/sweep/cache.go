@@ -5,35 +5,57 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 
 	"repro/internal/harness"
+	"repro/internal/resultstore"
 )
 
-// Cache is a content-addressed on-disk result store. Each entry is one
-// grid point's result, filed under the SHA-256 of the canonicalized
-// point (Point.Key), so a result is found again exactly when the whole
-// experiment configuration — app, platform, protocol, node count,
-// problem scale, cost overrides — is identical. Re-running a sweep
-// therefore only executes new or changed points, and a sweep
-// interrupted halfway resumes from what it already computed.
+// Cache is the content-addressed result store: one entry per grid
+// point, keyed by the SHA-256 of the canonicalized point (Point.Key),
+// so a result is found again exactly when the whole experiment
+// configuration — app, platform, protocol, node count, problem scale,
+// cost overrides — is identical. Re-running a sweep therefore only
+// executes new or changed points, and a sweep interrupted halfway
+// resumes from what it already computed.
 //
-// Entries are written atomically (temp file + rename), so a killed
-// sweep never leaves a torn entry behind. A Cache may be shared by
-// concurrent executors; the worst case of a racing write is one point
-// computed twice, never a corrupt entry.
+// Storage is a packed, indexed, append-only resultstore.Store: a
+// handful of large segment files instead of one JSON file per point,
+// so the cache survives millions of points where a directory tree
+// falls over on inodes and scan latency. The index (point identity
+// included) lives in memory, which is what lets Query answer filtered,
+// paginated lookups without reading unmatched records from disk.
+//
+// A Cache is safe for concurrent use within a process. Distinct
+// processes may share a directory — each appends to its own segment —
+// but see a snapshot taken at OpenCache; the worst case of the race is
+// one point computed twice, never a corrupt entry. Caches written by
+// the pre-packed one-JSON-file-per-point layout are imported with
+// ImportJSONTree (hyperion-cachectl -migrate-from).
 type Cache struct {
-	dir string
+	store *resultstore.Store
 }
 
-// cacheEntry is the serialized form of one cached point.
+// cacheEntry is the serialized form of one cached point — the record
+// payload in the packed store, and the historical on-disk JSON format
+// the migrator imports.
 type cacheEntry struct {
 	Version string         `json:"version"`
 	Point   Point          `json:"point"`
 	Result  harness.Result `json:"result"`
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// legacyTempFile matches the temp files the pre-packed cache's Put
+// could orphan if the process died between CreateTemp and Rename
+// (".<key>.json.tmp<rand>"). OpenCache sweeps them.
+var legacyTempFile = regexp.MustCompile(`^\..*\.json\.tmp`)
+
+// OpenCache opens (creating if needed) a cache rooted at dir. Leftover
+// temp files — the packed store's own and the legacy JSON layout's
+// orphaned ".*.json.tmp*" files — are swept. An unreadable or corrupt
+// store root fails here, loudly, instead of surfacing later as an
+// empty-but-healthy cache.
 func OpenCache(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("sweep: empty cache directory")
@@ -41,28 +63,49 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: opening cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	sweepLegacyTempFiles(dir)
+	store, err := resultstore.Open(dir, resultstore.Options{Version: cacheKeyVersion})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening cache: %w", err)
+	}
+	return &Cache{store: store}, nil
+}
+
+// sweepLegacyTempFiles removes orphaned temp files of the legacy
+// one-file-per-point layout, best-effort: they sit in the two-hex-char
+// shard directories and can never become live entries.
+func sweepLegacyTempFiles(dir string) {
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error { //nolint:errcheck // best-effort sweep
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if legacyTempFile.MatchString(d.Name()) {
+			os.Remove(path) //nolint:errcheck
+		}
+		return nil
+	})
 }
 
 // Dir reports the cache's root directory.
-func (c *Cache) Dir() string { return c.dir }
+func (c *Cache) Dir() string { return c.store.Dir() }
 
-// path shards entries by the key's first byte to keep directories small
-// on big sweeps.
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key[:2], key+".json")
-}
+// Store exposes the packed store under the cache, for integrity
+// tooling (hyperion-cachectl) and read-counter assertions.
+func (c *Cache) Store() *resultstore.Store { return c.store }
+
+// Close releases the cache's file handles.
+func (c *Cache) Close() error { return c.store.Close() }
 
 // Get returns the cached result for a point, if present. A stale or
-// malformed entry (older format version, truncated file from a pre-Go
-// crash, hash collision) is treated as a miss.
+// malformed entry (older format version, hash collision) is treated as
+// a miss, exactly as the legacy layout treated undecodable files.
 func (c *Cache) Get(p Point) (harness.Result, bool) {
-	data, err := os.ReadFile(c.path(p.Key()))
-	if err != nil {
+	payload, ok, err := c.store.Get(p.Key())
+	if err != nil || !ok {
 		return harness.Result{}, false
 	}
 	var e cacheEntry
-	if json.Unmarshal(data, &e) != nil || e.Version != cacheKeyVersion {
+	if json.Unmarshal(payload, &e) != nil || e.Version != cacheKeyVersion {
 		return harness.Result{}, false
 	}
 	// Paranoia over hash collisions and format drift: the stored point
@@ -74,29 +117,19 @@ func (c *Cache) Get(p Point) (harness.Result, bool) {
 	return e.Result, true
 }
 
-// Put stores a point's result. The write is atomic: concurrent readers
-// see either the complete entry or none.
+// Put stores a point's result, superseding any previous entry for the
+// same point. The append is atomic at the record level: a reader (or a
+// crash) sees either the complete checksummed entry or none.
 func (c *Cache) Put(p Point, r harness.Result) error {
-	path := c.path(p.Key())
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("sweep: cache put: %w", err)
-	}
-	data, err := json.MarshalIndent(cacheEntry{Version: cacheKeyVersion, Point: p, Result: r}, "", "  ")
+	payload, err := json.Marshal(cacheEntry{Version: cacheKeyVersion, Point: p, Result: r})
 	if err != nil {
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	meta, err := json.Marshal(p)
 	if err != nil {
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("sweep: cache put: write %v, close %v", werr, cerr)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.store.Put(p.Key(), meta, payload); err != nil {
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
 	return nil
@@ -109,34 +142,102 @@ type CachedPoint struct {
 	Result harness.Result `json:"result"`
 }
 
-// Entries scans the cache and returns every valid entry, sorted by the
-// grid's natural column order (app, cluster, protocol, nodes, threads
-// per node, override fingerprint). Stale or malformed entries are
-// skipped, exactly as Get treats them. This is the query surface behind
-// the experiment server's GET /v1/results: everything ever computed
-// under this cache root is visible without re-running anything.
-func (c *Cache) Entries() ([]CachedPoint, error) {
-	var out []CachedPoint
-	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
-			return err
+// Filter selects cached points by experiment axes. Zero-valued fields
+// match everything; set fields AND together.
+type Filter struct {
+	App      string
+	Cluster  string // canonical key (see CanonicalCluster)
+	Protocol string
+	// Nodes and ThreadsPerNode filter when > 0.
+	Nodes          int
+	ThreadsPerNode int
+	// PaperScale filters when non-nil.
+	PaperScale *bool
+}
+
+func (f Filter) matches(p *Point) bool {
+	if f.App != "" && p.App != f.App {
+		return false
+	}
+	if f.Cluster != "" && p.Cluster != f.Cluster {
+		return false
+	}
+	if f.Protocol != "" && p.Protocol != f.Protocol {
+		return false
+	}
+	if f.Nodes > 0 && p.Nodes != f.Nodes {
+		return false
+	}
+	if f.ThreadsPerNode > 0 && p.ThreadsPerNode != f.ThreadsPerNode {
+		return false
+	}
+	if f.PaperScale != nil && p.PaperScale != *f.PaperScale {
+		return false
+	}
+	return true
+}
+
+// Query answers a filtered, paginated lookup over the cache: total is
+// the number of entries matching the filter, page holds the matches in
+// the grid's natural column order from offset, at most limit long
+// (limit < 0 means no bound). Filtering and ordering run entirely on
+// the in-memory index — only the returned page's payloads are read
+// from disk, which is what keeps a narrow query over a huge store
+// cheap (assert with Store().ReadCounters). This is the engine behind
+// the experiment server's GET /v1/results.
+func (c *Cache) Query(f Filter, offset, limit int) (total int, page []CachedPoint, err error) {
+	type match struct {
+		key   string
+		point Point
+	}
+	var matched []match
+	c.store.Range(func(key string, meta []byte) bool {
+		var p Point
+		if json.Unmarshal(meta, &p) != nil {
+			return true // undecodable index meta: skip, exactly like Get's miss
 		}
-		data, err := os.ReadFile(path)
+		if f.matches(&p) {
+			matched = append(matched, match{key, p})
+		}
+		return true
+	})
+	sort.Slice(matched, func(i, j int) bool { return pointLess(matched[i].point, matched[j].point) })
+	total = len(matched)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
+	}
+	page = make([]CachedPoint, 0, end-offset)
+	for _, m := range matched[offset:end] {
+		payload, ok, err := c.store.Get(m.key)
 		if err != nil {
-			return nil // racing eviction or unreadable entry: skip
+			return 0, nil, fmt.Errorf("sweep: querying cache: %w", err)
+		}
+		if !ok {
+			continue // raced with a concurrent writer's supersede; skip
 		}
 		var e cacheEntry
-		if json.Unmarshal(data, &e) != nil || e.Version != cacheKeyVersion {
-			return nil
+		if json.Unmarshal(payload, &e) != nil || e.Version != cacheKeyVersion {
+			continue
 		}
-		out = append(out, CachedPoint{Point: e.Point, Result: e.Result})
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sweep: scanning cache: %w", err)
+		page = append(page, CachedPoint{Point: e.Point, Result: e.Result})
 	}
-	sort.Slice(out, func(i, j int) bool { return pointLess(out[i].Point, out[j].Point) })
-	return out, nil
+	return total, page, nil
+}
+
+// Entries returns every valid entry, sorted by the grid's natural
+// column order (app, cluster, protocol, nodes, threads per node,
+// override fingerprint). Stale or malformed entries are skipped,
+// exactly as Get treats them.
+func (c *Cache) Entries() ([]CachedPoint, error) {
+	_, page, err := c.Query(Filter{}, 0, -1)
+	return page, err
 }
 
 // pointLess orders points by the grid's column order.
@@ -159,14 +260,49 @@ func pointLess(a, b Point) bool {
 	return a.Override.Fingerprint() < b.Override.Fingerprint()
 }
 
-// Len reports the number of entries currently in the cache.
+// Len reports the number of entries currently in the cache. The count
+// comes from the store's in-memory index, so it is exact and cannot
+// silently read 0 on an unreadable root — that failure mode now
+// surfaces as an OpenCache error instead.
 func (c *Cache) Len() int {
-	n := 0
-	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
-			n++
-		}
-		return nil
+	return c.store.Len()
+}
+
+// Verify checks the cache end to end: the store's segment framing and
+// checksums (resultstore.Store.Verify), then every live entry's
+// payload — it must decode, carry the current format version, and
+// canonicalize back to the key it is filed under. It returns the
+// number of verified entries.
+func (c *Cache) Verify() (int, error) {
+	if _, _, err := c.store.Verify(); err != nil {
+		return 0, fmt.Errorf("sweep: verifying cache: %w", err)
+	}
+	verified := 0
+	var keys []string
+	c.store.Range(func(key string, _ []byte) bool {
+		keys = append(keys, key)
+		return true
 	})
-	return n
+	sort.Strings(keys)
+	for _, key := range keys {
+		payload, ok, err := c.store.Get(key)
+		if err != nil {
+			return verified, fmt.Errorf("sweep: verifying cache: %w", err)
+		}
+		if !ok {
+			continue
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return verified, fmt.Errorf("sweep: verifying cache: entry %s: %w", key, err)
+		}
+		if e.Version != cacheKeyVersion {
+			return verified, fmt.Errorf("sweep: verifying cache: entry %s has version %q, want %q", key, e.Version, cacheKeyVersion)
+		}
+		if e.Point.Key() != key {
+			return verified, fmt.Errorf("sweep: verifying cache: entry %s does not canonicalize to its key", key)
+		}
+		verified++
+	}
+	return verified, nil
 }

@@ -1,21 +1,24 @@
 package sweep
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strconv"
-	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/resultstore"
 	"repro/internal/stats"
 	"repro/internal/vtime"
 )
 
 func fakeResult(p Point, seconds float64) harness.Result {
-	return harness.Result{
+	r := harness.Result{
 		App:      p.App,
 		Cluster:  p.Cluster,
 		Nodes:    p.Nodes,
@@ -27,6 +30,9 @@ func fakeResult(p Point, seconds float64) harness.Result {
 		Messages: 42,
 		Bytes:    9000,
 	}
+	r.RunStats.PerNode = []core.NodeStats{{Faults: 11, Fetches: 7, FlushBytes: 512}}
+	r.RunStats.Total = core.NodeStats{Faults: 11, Fetches: 7, FlushBytes: 512}
+	return r
 }
 
 func TestCacheRoundTrip(t *testing.T) {
@@ -34,6 +40,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	p := Point{App: "jacobi", Cluster: "myrinet", Protocol: "java_pf", Nodes: 4, ThreadsPerNode: 1, Repeats: 1,
 		Override: Override{Label: "cap=16", CacheCapacityPages: intp(16)}}
 	if _, ok := c.Get(p); ok {
@@ -68,37 +75,88 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCacheRejectsCorruptAndStaleEntries(t *testing.T) {
-	dir := t.TempDir()
+// TestCacheSurvivesReopen is the resumability contract on the packed
+// layout: everything Put before a close is served after a reopen.
+func TestCacheSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
 	c, err := OpenCache(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := Point{App: "pi", Cluster: "sci", Protocol: "java_ic", Nodes: 2, ThreadsPerNode: 1, Repeats: 1}
-	if err := c.Put(p, fakeResult(p, 0.25)); err != nil {
+	want := fakeResult(p, 0.5)
+	if err := c.Put(p, want); err != nil {
 		t.Fatal(err)
 	}
-	path := c.path(p.Key())
+	c.Close()
 
-	// Truncated file -> miss, not a crash.
-	if err := os.WriteFile(path, []byte(`{"version":"hyperion-sw`), 0o644); err != nil {
+	r, err := OpenCache(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(p); ok {
-		t.Error("truncated entry served")
+	defer r.Close()
+	got, ok := r.Get(p)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("after reopen: ok %v, result equal %v", ok, reflect.DeepEqual(got, want))
 	}
+}
 
-	// Old format version -> miss.
-	if err := c.Put(p, fakeResult(p, 0.25)); err != nil {
+func TestCacheRejectsCorruptAndStaleEntries(t *testing.T) {
+	dir := t.TempDir()
+
+	// Stale format version: written by a store speaking an older cache
+	// version, invisible to today's cache.
+	old, err := resultstore.Open(dir, resultstore.Options{Version: "hyperion-sweep-v0"})
+	if err != nil {
 		t.Fatal(err)
 	}
-	data, _ := os.ReadFile(path)
-	stale := strings.Replace(string(data), cacheKeyVersion, "hyperion-sweep-v0", 1)
-	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+	p := Point{App: "pi", Cluster: "sci", Protocol: "java_ic", Nodes: 2, ThreadsPerNode: 1, Repeats: 1}
+	if err := old.Put(p.Key(), nil, []byte(`{"version":"hyperion-sweep-v0"}`)); err != nil {
+		t.Fatal(err)
+	}
+	old.Close()
+
+	c, err := OpenCache(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.Get(p); ok {
 		t.Error("stale-version entry served")
+	}
+
+	// A torn append (crash mid-write) must surface as a miss after
+	// reopen, not a crash — and must not take earlier entries with it.
+	q := p
+	q.Nodes = 4
+	if err := c.Put(p, fakeResult(p, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(q, fakeResult(q, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v, %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Get(q); ok {
+		t.Error("torn entry served")
+	}
+	if _, ok := r.Get(p); !ok {
+		t.Error("entry before the torn tail lost")
 	}
 }
 
@@ -107,6 +165,7 @@ func TestCacheEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	if got, err := c.Entries(); err != nil || len(got) != 0 {
 		t.Fatalf("empty cache: entries %v, err %v", got, err)
 	}
@@ -122,13 +181,12 @@ func TestCacheEntries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// A corrupt file must be skipped, not fail the scan.
+	// An entry whose payload does not decode must be skipped, not fail
+	// the scan (mirrors the legacy cache's tolerance of corrupt files).
 	bad := pts[0]
 	bad.Nodes = 99
-	if err := c.Put(bad, fakeResult(bad, 1)); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(c.path(bad.Key()), []byte("not json"), 0o644); err != nil {
+	badMeta := []byte(`{"app":"pi","cluster":"sci","protocol":"java_pf","nodes":99,"threads_per_node":1,"paper_scale":false,"repeats":1,"override":{}}`)
+	if err := c.Store().Put(bad.Key(), badMeta, []byte("not json")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -151,6 +209,137 @@ func TestCacheEntries(t *testing.T) {
 	}
 }
 
+func TestCacheQueryPushdown(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	apps := []string{"pi", "jacobi", "asp"}
+	for _, app := range apps {
+		for n := 1; n <= 8; n++ {
+			p := Point{App: app, Cluster: "sci", Protocol: "java_pf", Nodes: n, ThreadsPerNode: 1, Repeats: 1}
+			if err := c.Put(p, fakeResult(p, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := c.Store().ReadCounters()
+
+	total, page, err := c.Query(Filter{App: "jacobi"}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8 || len(page) != 3 {
+		t.Fatalf("Query = total %d, page %d; want 8, 3", total, len(page))
+	}
+	for i, e := range page {
+		if e.Point.App != "jacobi" || e.Point.Nodes != i+1 {
+			t.Errorf("page[%d] = %s/%d, want jacobi/%d", i, e.Point.App, e.Point.Nodes, i+1)
+		}
+	}
+	// Pushdown: only the page's 3 payloads were read, not the 24 records.
+	after := c.Store().ReadCounters()
+	if reads := after.RecordsRead - before.RecordsRead; reads != 3 {
+		t.Errorf("query read %d payloads, want 3 (index pushdown)", reads)
+	}
+
+	// Offset walks the same ordering.
+	_, page2, err := c.Query(Filter{App: "jacobi"}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page2) != 3 || page2[0].Point.Nodes != 4 {
+		t.Fatalf("offset page starts at nodes=%d, want 4", page2[0].Point.Nodes)
+	}
+	// Out-of-range offset is an empty page, not an error.
+	total3, page3, err := c.Query(Filter{App: "jacobi"}, 100, 5)
+	if err != nil || total3 != 8 || len(page3) != 0 {
+		t.Fatalf("past-the-end Query = %d, %d, %v", total3, len(page3), err)
+	}
+}
+
+func TestCacheConcurrentPutGetEntries(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 1; n <= 16; n++ {
+				p := Point{App: "pi", Cluster: "sci", Protocol: "java_ic",
+					Nodes: w*100 + n, ThreadsPerNode: 1, Repeats: 1}
+				if err := c.Put(p, fakeResult(p, 1)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := c.Get(p); !ok {
+					t.Errorf("miss after put: %s", p)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := c.Entries(); err != nil {
+				t.Error(err)
+				return
+			}
+			c.Len()
+		}
+	}()
+	wg.Wait()
+	if c.Len() != writers*16 {
+		t.Errorf("Len = %d, want %d", c.Len(), writers*16)
+	}
+	if n, err := c.Verify(); err != nil || n != writers*16 {
+		t.Errorf("Verify = %d, %v", n, err)
+	}
+}
+
+// TestOpenCacheSweepsLegacyTempFiles is the regression test for the
+// orphaned-temp-file leak: the legacy Put could die between CreateTemp
+// and Rename, stranding ".<key>.json.tmp*" files forever. OpenCache
+// must remove them.
+func TestOpenCacheSweepsLegacyTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	key := "ab" + fmt.Sprintf("%062d", 7)
+	orphan := filepath.Join(shard, "."+key+".json.tmp123456")
+	if err := os.WriteFile(orphan, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A real legacy entry alongside must be left alone.
+	p := Point{App: "pi", Cluster: "sci", Protocol: "java_ic", Nodes: 1, ThreadsPerNode: 1, Repeats: 1}
+	if err := writeLegacyEntry(dir, p, cacheEntry{Version: cacheKeyVersion, Point: p, Result: fakeResult(p, 1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphaned temp file survived OpenCache: stat err = %v", err)
+	}
+	legacy := filepath.Join(dir, p.Key()[:2], p.Key()+".json")
+	if _, err := os.Stat(legacy); err != nil {
+		t.Errorf("legacy entry removed by the sweep: %v", err)
+	}
+}
+
 func TestOpenCacheErrors(t *testing.T) {
 	if _, err := OpenCache(""); err == nil {
 		t.Error("empty dir accepted")
@@ -162,5 +351,16 @@ func TestOpenCacheErrors(t *testing.T) {
 	}
 	if _, err := OpenCache(path); err == nil {
 		t.Error("file-as-dir accepted")
+	}
+	// An unreadable store (directory squatting on a segment name) must
+	// fail OpenCache loudly instead of opening a cache whose Len reads
+	// 0 — the old Len-swallows-errors bug made /healthz report an
+	// empty-but-healthy cache on exactly this kind of root.
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "00000001.seg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(dir); err == nil {
+		t.Error("corrupt store root accepted; Len would silently report 0")
 	}
 }

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MigrationReport accounts for one ImportJSONTree run.
+type MigrationReport struct {
+	// Imported is the number of legacy entries now live in the packed
+	// store.
+	Imported int
+	// Skipped counts legacy files that were not importable: undecodable
+	// JSON, a stale format version, or an entry whose point does not
+	// canonicalize back to its file name. They carry no usable result
+	// and are left in place for inspection.
+	Skipped int
+}
+
+// ImportJSONTree imports a legacy one-JSON-file-per-point cache tree
+// (the pre-packed layout: <src>/<key[:2]>/<key>.json) into the cache's
+// packed store — the one-shot migration behind hyperion-cachectl
+// -migrate-from. The source tree is read, never modified; delete it
+// after a successful Verify. Importing a tree into the store rooted in
+// the same directory works (the legacy shard subdirectories and the
+// store's segment files coexist).
+//
+// Results round-trip exactly: an imported entry's harness.Result —
+// RunStats included — is byte-identical under JSON marshaling to the
+// legacy file's. Unlike the legacy cache's silent scans, directory
+// walk errors fail the migration rather than under-reporting it.
+func (c *Cache) ImportJSONTree(src string) (MigrationReport, error) {
+	var rep MigrationReport
+	if src == "" {
+		return rep, fmt.Errorf("sweep: empty migration source")
+	}
+	if _, err := os.Stat(src); err != nil {
+		return rep, fmt.Errorf("sweep: migration source: %w", err)
+	}
+	// Deterministic import order: collect, sort, then import.
+	var files []string
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ".json" || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		files = append(files, path)
+		return nil
+	})
+	if err != nil {
+		return rep, fmt.Errorf("sweep: scanning legacy cache: %w", err)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rep, fmt.Errorf("sweep: migrating %s: %w", path, err)
+		}
+		var e cacheEntry
+		if json.Unmarshal(data, &e) != nil || e.Version != cacheKeyVersion {
+			rep.Skipped++
+			continue
+		}
+		key := e.Point.Key()
+		if key != strings.TrimSuffix(filepath.Base(path), ".json") {
+			rep.Skipped++ // filed under a different experiment's key
+			continue
+		}
+		if err := c.Put(e.Point, e.Result); err != nil {
+			return rep, fmt.Errorf("sweep: migrating %s: %w", path, err)
+		}
+		rep.Imported++
+	}
+	return rep, nil
+}
+
+// writeLegacyEntry files one entry in the pre-packed one-JSON-file-per-
+// point layout. It exists for the migration tests (and any tooling that
+// needs to fabricate a legacy tree); the live write path is Cache.Put.
+func writeLegacyEntry(dir string, p Point, e cacheEntry) error {
+	key := p.Key()
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

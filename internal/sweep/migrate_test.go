@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// legacyTree fabricates a pre-packed one-JSON-file-per-point cache
+// under dir and returns the points it filed.
+func legacyTree(t *testing.T, dir string, n int) []Point {
+	t.Helper()
+	var pts []Point
+	apps := []string{"pi", "jacobi", "asp"}
+	for i := 0; i < n; i++ {
+		p := Point{
+			App:            apps[i%len(apps)],
+			Cluster:        "sci",
+			Protocol:       "java_pf",
+			Nodes:          1 + i%8,
+			ThreadsPerNode: 1 + i/24,
+			Repeats:        1,
+		}
+		if err := writeLegacyEntry(dir, p, cacheEntry{Version: cacheKeyVersion, Point: p, Result: fakeResult(p, float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// TestMigrationRoundTrip is the acceptance test for the JSON-tree
+// migration: legacy tree -> packed store must reproduce identical
+// Entries() output, with every harness.Result — RunStats included —
+// byte-identical under JSON marshaling to what the legacy files held.
+func TestMigrationRoundTrip(t *testing.T) {
+	legacyDir := filepath.Join(t.TempDir(), "legacy")
+	pts := legacyTree(t, legacyDir, 30)
+
+	// Reference view: what the legacy files hold, decoded and sorted
+	// the way Entries sorts.
+	wantByKey := make(map[string]CachedPoint, len(pts))
+	for _, p := range pts {
+		data, err := os.ReadFile(filepath.Join(legacyDir, p.Key()[:2], p.Key()+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Fatal(err)
+		}
+		wantByKey[p.Key()] = CachedPoint{Point: e.Point, Result: e.Result}
+	}
+
+	c, err := OpenCache(filepath.Join(t.TempDir(), "packed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.ImportJSONTree(legacyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Imported != len(pts) || rep.Skipped != 0 {
+		t.Fatalf("report = %+v, want %d imported, 0 skipped", rep, len(pts))
+	}
+
+	entries, err := c.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(pts) {
+		t.Fatalf("Entries = %d points, want %d", len(entries), len(pts))
+	}
+	for i, e := range entries {
+		want := wantByKey[e.Point.Key()]
+		if !reflect.DeepEqual(e, want) {
+			t.Fatalf("entry %d differs from legacy file:\ngot  %#v\nwant %#v", i, e, want)
+		}
+		// Byte-identity of the result (RunStats included) under JSON.
+		got, err := json.Marshal(e.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := json.Marshal(want.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(ref) {
+			t.Fatalf("entry %d result not byte-identical:\ngot  %s\nwant %s", i, got, ref)
+		}
+		if e.Result.RunStats.PerNode == nil {
+			t.Fatalf("entry %d lost its RunStats in migration", i)
+		}
+	}
+	// Ordering must match Entries' documented grid order.
+	for i := 1; i < len(entries); i++ {
+		if pointLess(entries[i].Point, entries[i-1].Point) {
+			t.Fatalf("entries out of order at %d", i)
+		}
+	}
+
+	// Every migrated point is a cache hit.
+	for _, p := range pts {
+		if _, ok := c.Get(p); !ok {
+			t.Errorf("migrated point missed: %s", p)
+		}
+	}
+	if n, err := c.Verify(); err != nil || n != len(pts) {
+		t.Errorf("Verify after migration = %d, %v", n, err)
+	}
+}
+
+// TestMigrationSkipsUnusableFiles: stale versions, undecodable JSON and
+// wrongly-filed entries are skipped (and counted), not imported and not
+// fatal.
+func TestMigrationSkipsUnusableFiles(t *testing.T) {
+	legacyDir := filepath.Join(t.TempDir(), "legacy")
+	pts := legacyTree(t, legacyDir, 3)
+
+	// Stale version.
+	stale := Point{App: "tsp", Cluster: "sci", Protocol: "java_ic", Nodes: 2, ThreadsPerNode: 1, Repeats: 1}
+	if err := writeLegacyEntry(legacyDir, stale, cacheEntry{Version: "hyperion-sweep-v0", Point: stale, Result: fakeResult(stale, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage bytes.
+	if err := os.MkdirAll(filepath.Join(legacyDir, "ff"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	garbage := filepath.Join(legacyDir, "ff", "ff00000000000000000000000000000000000000000000000000000000000000.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A valid entry filed under another experiment's key.
+	misfiled := Point{App: "barnes", Cluster: "sci", Protocol: "java_ic", Nodes: 3, ThreadsPerNode: 1, Repeats: 1}
+	blob, err := json.Marshal(cacheEntry{Version: cacheKeyVersion, Point: misfiled, Result: fakeResult(misfiled, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := filepath.Join(legacyDir, "aa", "aa00000000000000000000000000000000000000000000000000000000000000.json")
+	if err := os.MkdirAll(filepath.Dir(wrong), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wrong, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := OpenCache(filepath.Join(t.TempDir(), "packed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.ImportJSONTree(legacyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Imported != len(pts) || rep.Skipped != 3 {
+		t.Fatalf("report = %+v, want %d imported, 3 skipped", rep, len(pts))
+	}
+	if c.Len() != len(pts) {
+		t.Errorf("Len = %d, want %d", c.Len(), len(pts))
+	}
+}
+
+// TestMigrationInPlace imports a legacy tree into a store rooted in the
+// same directory — the upgrade-in-place path.
+func TestMigrationInPlace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	pts := legacyTree(t, dir, 5)
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Len() != 0 {
+		t.Fatalf("legacy files visible before migration: Len = %d", c.Len())
+	}
+	rep, err := c.ImportJSONTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Imported != len(pts) {
+		t.Fatalf("report = %+v, want %d imported", rep, len(pts))
+	}
+	for _, p := range pts {
+		if _, ok := c.Get(p); !ok {
+			t.Errorf("missed after in-place migration: %s", p)
+		}
+	}
+	// A second import is idempotent: same keys, superseded records.
+	if _, err := c.ImportJSONTree(dir); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != len(pts) {
+		t.Errorf("Len after re-import = %d, want %d", c.Len(), len(pts))
+	}
+	// And the errors-propagate contract: a missing source fails loudly.
+	if _, err := c.ImportJSONTree(filepath.Join(dir, "no-such-tree")); err == nil {
+		t.Error("missing source accepted")
+	}
+}
