@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/pagestats"
 	"repro/internal/trace"
 	"repro/internal/version"
 
@@ -43,6 +45,8 @@ func run(args []string, stdout io.Writer) error {
 	paperScale := fs.Bool("paperscale", false, "use the paper's full §4.1 problem sizes (much slower)")
 	traceOut := fs.String("trace", "", "record protocol events and write a Perfetto (Chrome trace-event) JSON file")
 	traceDump := fs.Int("trace-dump", 0, "record protocol events and dump the first N as text (0 = off)")
+	pageStatsOut := fs.String("pagestats", "", "profile per-page sharing and write the classified report as JSON")
+	pageStatsCSV := fs.String("pagestats-csv", "", "with or without -pagestats: write the per-page table as CSV")
 	counters := fs.Bool("counters", false, "print the engine's per-node counter breakdown")
 	showVersion := fs.Bool("version", false, "print build version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +83,9 @@ func run(args []string, stdout io.Writer) error {
 		tracer = trace.NewBuffer(1 << 20)
 		cfg.Tracer = tracer
 	}
+	if *pageStatsOut != "" || *pageStatsCSV != "" {
+		cfg.PageProfiler = pagestats.New()
+	}
 	res, err := hyperion.RunBenchmark(app, cfg)
 	if err != nil {
 		return err
@@ -98,6 +105,45 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  %-20s %d\n", name, v)
 		}
 	}
+	if r := res.PageStats; r != nil {
+		fmt.Fprintf(stdout, "\npage profile (%d page(s), page size %d):\n", r.PagesTracked, r.PageSize)
+		for _, name := range pagestats.ClassNames() {
+			fmt.Fprintf(stdout, "  %-18s %d\n", name, r.Classes[name])
+		}
+		if hot := r.Hot(8); len(hot) > 0 {
+			fmt.Fprintf(stdout, "hot pages (top %d by faults+fetches+invalidations):\n", len(hot))
+			fmt.Fprintf(stdout, "  %8s %4s %-18s %7s %7s %7s %10s\n", "page", "home", "class", "faults", "fetch", "inval", "diff_bytes")
+			for _, s := range hot {
+				fmt.Fprintf(stdout, "  %8d %4d %-18s %7d %7d %7d %10d\n",
+					s.Page, s.Home, s.Class, s.Faults, s.Fetches, s.Invalidations, s.DiffBytes)
+			}
+		}
+		if *pageStatsOut != "" {
+			blob, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				return err
+			}
+			blob = append(blob, '\n')
+			if err := os.WriteFile(*pageStatsOut, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "pagestats:  %d page(s) -> %s\n", r.PagesTracked, *pageStatsOut)
+		}
+		if *pageStatsCSV != "" {
+			f, err := os.Create(*pageStatsCSV)
+			if err != nil {
+				return err
+			}
+			werr := r.WriteCSV(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("writing pagestats csv %s: %w", *pageStatsCSV, werr)
+			}
+			fmt.Fprintf(stdout, "pagestats:  per-page table -> %s\n", *pageStatsCSV)
+		}
+	}
 	if *traceDump > 0 {
 		fmt.Fprintf(stdout, "\ntrace summary:\n%s\nfirst %d events:\n%s", tracer.Summary(), *traceDump, tracer.Dump(*traceDump))
 	}
@@ -106,7 +152,19 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		werr := tracer.WritePerfetto(f)
+		var werr error
+		if r := res.PageStats; r != nil {
+			// Profiled + traced: add per-page cumulative counter tracks
+			// for the hottest pages so the Perfetto timeline shows when
+			// each hot page took its faults and fetches.
+			hot := make([]int64, 0, 8)
+			for _, s := range r.Hot(8) {
+				hot = append(hot, int64(s.Page))
+			}
+			werr = tracer.WritePerfettoHot(f, hot)
+		} else {
+			werr = tracer.WritePerfetto(f)
+		}
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}

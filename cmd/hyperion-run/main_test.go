@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/pagestats"
 	"repro/internal/trace"
 )
 
@@ -49,6 +51,83 @@ func TestRunTraceExport(t *testing.T) {
 	}
 	if err := trace.ValidateChromeTrace(data); err != nil {
 		t.Fatalf("emitted trace fails schema check: %v", err)
+	}
+}
+
+// TestRunPageStats is the acceptance check for the page profiler CLI:
+// jacobi-flat (the naive-layout demonstrator) must report a non-empty
+// false-shared page set, the JSON must pass the schema validator, the
+// CSV must list every page, and two identical runs must produce
+// bit-identical reports.
+func TestRunPageStats(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "ps.json")
+	csvPath := filepath.Join(dir, "ps.csv")
+	args := []string{"-app", "jacobi-flat", "-cluster", "sci", "-nodes", "4",
+		"-protocol", "java_hlrc", "-pagestats", jsonPath, "-pagestats-csv", csvPath}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"page profile", "false_shared", "hot pages"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pagestats.Validate(blob); err != nil {
+		t.Fatalf("emitted pagestats fails schema check: %v", err)
+	}
+	var r pagestats.Report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FalseShared) == 0 {
+		t.Error("jacobi-flat reported no false-shared pages")
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(csv, []byte("\n")); got != r.PagesTracked+1 {
+		t.Errorf("csv has %d lines for %d pages", got, r.PagesTracked)
+	}
+
+	jsonPath2 := filepath.Join(dir, "ps2.json")
+	if err := run([]string{"-app", "jacobi-flat", "-cluster", "sci", "-nodes", "4",
+		"-protocol", "java_hlrc", "-pagestats", jsonPath2}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := os.ReadFile(jsonPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Error("two identical profiled runs produced different reports")
+	}
+}
+
+// Stock jacobi's page-aligned owner-homed layout is the counterpoint:
+// the profiler must find no false sharing there.
+func TestRunPageStatsStockJacobiHasNoFalseSharing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ps.json")
+	if err := run([]string{"-app", "jacobi", "-cluster", "sci", "-nodes", "4",
+		"-protocol", "java_hlrc", "-pagestats", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r pagestats.Report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FalseShared) != 0 {
+		t.Errorf("stock jacobi reported false-shared pages %v", r.FalseShared)
 	}
 }
 

@@ -6,9 +6,16 @@
 // every trace hyperion-run emits; it also catches hand-edited or
 // truncated traces before they confuse a viewer.
 //
+// With -pagestats it instead validates per-page sharing reports
+// (hyperion-run -pagestats output, or GET /v1/sweeps/{id}/pagestats
+// downloads) against the pagestats schema: strict field names, sorted
+// page ids, valid classification labels, consistent class tallies, and
+// node ids / byte ranges within the cluster and page geometry.
+//
 // Usage:
 //
 //	hyperion-trace-check run.trace.json [more.trace.json ...]
+//	hyperion-trace-check -pagestats run.pagestats.json
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/pagestats"
 	"repro/internal/trace"
 	"repro/internal/version"
 )
@@ -33,6 +41,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hyperion-trace-check", flag.ContinueOnError)
 	quiet := fs.Bool("quiet", false, "print nothing on success")
+	pageStats := fs.Bool("pagestats", false, "validate per-page sharing reports instead of Chrome traces")
 	showVersion := fs.Bool("version", false, "print build version and exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -47,12 +56,16 @@ func run(args []string, stdout io.Writer) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("no trace files named (usage: hyperion-trace-check FILE...)")
 	}
+	validate := trace.ValidateChromeTrace
+	if *pageStats {
+		validate = pagestats.Validate
+	}
 	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		if err := trace.ValidateChromeTrace(data); err != nil {
+		if err := validate(data); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		if !*quiet {

@@ -44,6 +44,32 @@ func TestCheckInvalid(t *testing.T) {
 	}
 }
 
+func TestCheckPageStatsMode(t *testing.T) {
+	good := writeFile(t, "ps.json",
+		`{"nodes":2,"page_size":4096,"pages_tracked":1,"profiler_bytes":96,`+
+			`"classes":{"private":1},"false_shared":[],"pages":[`+
+			`{"page":7,"home":0,"class":"private","faults":1,"fetches":1,"invalidations":0,"diff_bytes":8,`+
+			`"readers":[1],"writers":[1],"write_ranges":[{"node":1,"lo":0,"hi":8}]}]}`)
+	var out bytes.Buffer
+	if err := run([]string{"-pagestats", good}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("output %q", out.String())
+	}
+	// The same file is not a valid Chrome trace; without -pagestats the
+	// mode switch must not leak.
+	if err := run([]string{good}, &bytes.Buffer{}); err == nil {
+		t.Error("pagestats file accepted as a Chrome trace")
+	}
+	bad := writeFile(t, "bad-ps.json",
+		`{"nodes":2,"page_size":4096,"pages_tracked":2,"classes":{},"false_shared":[],"pages":[]}`)
+	if err := run([]string{"-pagestats", bad}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "pages_tracked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
 func TestCheckErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{},                    // no files

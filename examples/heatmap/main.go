@@ -2,7 +2,9 @@
 // shape) written directly against the public API. It distributes the
 // plate's rows across the cluster, iterates with near-neighbor exchange
 // through the DSM, renders the result as an ASCII heat map, and compares
-// the two access-detection protocols.
+// every registered consistency protocol — with the per-page sharing
+// profiler attached, so each protocol also prints the pages its own
+// coherence traffic hit hardest.
 //
 //	go run ./examples/heatmap
 package main
@@ -10,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	hyperion "repro"
 )
@@ -22,7 +25,7 @@ const (
 
 func main() {
 	var grid []float64
-	for _, proto := range []string{"java_ic", "java_pf"} {
+	for _, proto := range hyperion.Protocols() {
 		sys, err := hyperion.New(hyperion.Options{
 			Cluster:  hyperion.SCI450(),
 			Nodes:    nodes,
@@ -31,13 +34,33 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if err := sys.EnablePageProfiling(); err != nil {
+			log.Fatal(err)
+		}
 		g, end := solve(sys)
 		grid = g
-		fmt.Printf("%-8s simulated time %v, %d page fetches\n", proto, end, sys.Stats().PageFetches)
+		fmt.Printf("%-9s simulated time %v, %d page fetches\n", proto, end, sys.Stats().PageFetches)
+		hotPages(sys.PageStats())
 	}
 
 	fmt.Println("\nsteady-state temperature (hot west edge, cold east edge):")
 	render(grid)
+}
+
+// hotPages prints the protocol's busiest pages: the same solver, but
+// each protocol's detection strategy pays for the sharing differently,
+// which is exactly what the per-page counters make visible.
+func hotPages(r *hyperion.PageReport) {
+	fmt.Printf("          %d pages touched by DSM traffic; hottest:\n", r.PagesTracked)
+	fmt.Println("            page  class              faults  fetches  inval  readers")
+	for _, p := range r.Hot(4) {
+		readers := make([]string, len(p.Readers))
+		for i, n := range p.Readers {
+			readers[i] = fmt.Sprint(n)
+		}
+		fmt.Printf("          %6d  %-17s %7d %8d %6d  n%s\n",
+			p.Page, p.Class, p.Faults, p.Fetches, p.Invalidations, strings.Join(readers, " n"))
+	}
 }
 
 // solve runs the relaxation and returns the final grid plus the virtual

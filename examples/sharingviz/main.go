@@ -1,0 +1,220 @@
+// Sharingviz: make sharing patterns — and false sharing — visible.
+//
+// Three workloads run under every registered consistency protocol with
+// the per-page sharing profiler attached (System.EnablePageProfiling):
+//
+//   - pi: workers accumulate partial sums into one monitor-guarded
+//     cell. Every worker writes the same eight bytes, so the profiler
+//     classifies its page as migratory — the write envelopes overlap.
+//
+//   - jacobi, paper layout: each worker's row block is page-aligned
+//     and homed on the worker's own node, the layout the paper's
+//     benchmarks use. The profiler finds NO false sharing — boundary
+//     rows are read by neighbors (read_shared / producer_consumer)
+//     but no page takes disjoint writes from two nodes. The empty
+//     false-shared set is the finding: the paper's layout is the fix.
+//
+//   - jacobi, naive flat layout: one contiguous grid homed on node 0,
+//     with a row size that does not divide the page size. Worker-block
+//     boundaries now fall mid-page, and the profiler flags those pages
+//     as false_shared, printing the per-node write envelopes that
+//     prove the writes never touched the same bytes.
+//
+//     go run ./examples/sharingviz
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hyperion "repro"
+)
+
+const (
+	n     = 120 // grid dimension: rows of 960 B misalign with 4 KiB pages
+	steps = 4
+	nodes = 4
+)
+
+func main() {
+	workloads := []struct {
+		name string
+		run  func(*hyperion.System) hyperion.Time
+	}{
+		{"pi (monitor-accumulated sum)", runPi},
+		{"jacobi (paper layout: aligned blocks, owner-homed)", runJacobiAligned},
+		{"jacobi (naive layout: one flat grid on node 0)", runJacobiFlat},
+	}
+	for _, w := range workloads {
+		fmt.Printf("== %s ==\n", w.name)
+		fmt.Printf("%-10s %6s %8s %12s %13s %10s %18s  %s\n",
+			"protocol", "pages", "private", "read_shared", "false_shared", "migratory", "producer_consumer", "false-shared pages")
+		for _, proto := range hyperion.Protocols() {
+			sys, err := hyperion.New(hyperion.Options{
+				Cluster:  hyperion.SCI450(),
+				Nodes:    nodes,
+				Protocol: proto,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.EnablePageProfiling(); err != nil {
+				log.Fatal(err)
+			}
+			w.run(sys)
+			r := sys.PageStats()
+			fmt.Printf("%-10s %6d %8d %12d %13d %10d %18d  %s\n",
+				proto, r.PagesTracked,
+				r.Classes["private"], r.Classes["read_shared"], r.Classes["false_shared"],
+				r.Classes["migratory"], r.Classes["producer_consumer"], pageList(r.FalseShared))
+			if proto == "java_hlrc" && len(r.FalseShared) > 0 {
+				explain(r)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("the fix is the paper's layout: page-align each worker's block and home it")
+	fmt.Println("on the worker's node — rerun above, the false_shared column drops to zero")
+}
+
+// pageList renders a false-shared page id set.
+func pageList(ids []uint64) string {
+	if len(ids) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	return strings.Join(parts, " ")
+}
+
+// explain prints the write envelopes of the first false-shared page:
+// two nodes wrote the page, their byte ranges never intersected, yet
+// the whole page bounced between them.
+func explain(r *hyperion.PageReport) {
+	id := r.FalseShared[0]
+	for _, p := range r.Pages {
+		if p.Page != id {
+			continue
+		}
+		fmt.Printf("           page %d bounced %d times for writes that never met:\n", p.Page, p.Invalidations)
+		for _, wr := range p.WriteRanges {
+			fmt.Printf("             node %d wrote bytes [%4d, %4d) of the page\n", wr.Node, wr.Lo, wr.Hi)
+		}
+		return
+	}
+}
+
+// runPi accumulates 4/(1+x^2) partial sums under one monitor.
+func runPi(sys *hyperion.System) hyperion.Time {
+	const intervals = 20_000
+	return sys.Main(func(main *hyperion.Thread) {
+		sum := sys.NewF64Array(main, 0, 1)
+		mon := sys.NewMonitor(0)
+		workers := make([]*hyperion.Thread, nodes)
+		for w := 0; w < nodes; w++ {
+			w := w
+			workers[w] = sys.SpawnOn(main, w, func(t *hyperion.Thread) {
+				lo, hi := w*intervals/nodes, (w+1)*intervals/nodes
+				dx := 1.0 / float64(intervals)
+				local := 0.0
+				for i := lo; i < hi; i++ {
+					x := (float64(i) + 0.5) * dx
+					local += 4.0 / (1.0 + x*x) * dx
+				}
+				mon.Synchronized(t, func() {
+					sum.Set(t, 0, sum.Get(t, 0)+local)
+				})
+			})
+		}
+		for _, w := range workers {
+			sys.Join(main, w)
+		}
+		if pi := sum.Get(main, 0); pi < 3.14 || pi > 3.15 {
+			log.Fatalf("pi=%v", pi)
+		}
+	})
+}
+
+// stencil runs the barrier-phased relaxation over grids addressed by
+// get/set, the shared skeleton of both jacobi layouts.
+func stencil(sys *hyperion.System, main *hyperion.Thread,
+	get func(t *hyperion.Thread, grid int, i, j int) float64,
+	set func(t *hyperion.Thread, grid int, i, j int, v float64)) {
+	bar := sys.NewBarrier(0, nodes)
+	rowsPer := n / nodes
+	workers := make([]*hyperion.Thread, nodes)
+	for w := 0; w < nodes; w++ {
+		w := w
+		workers[w] = sys.SpawnOn(main, w, func(t *hyperion.Thread) {
+			lo, hi := w*rowsPer, (w+1)*rowsPer
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					v := 0.0
+					if j == 0 {
+						v = 100
+					}
+					set(t, 0, i, j, v)
+					set(t, 1, i, j, v)
+				}
+			}
+			bar.Await(t)
+			src, dst := 0, 1
+			for s := 0; s < steps; s++ {
+				for i := lo; i < hi; i++ {
+					if i == 0 || i == n-1 {
+						continue
+					}
+					for j := 1; j < n-1; j++ {
+						set(t, dst, i, j, 0.25*(get(t, src, i-1, j)+get(t, src, i+1, j)+
+							get(t, src, i, j-1)+get(t, src, i, j+1)))
+					}
+				}
+				bar.Await(t)
+				src, dst = dst, src
+			}
+		})
+	}
+	for _, w := range workers {
+		sys.Join(main, w)
+	}
+}
+
+// runJacobiAligned uses the paper's layout: per-worker row blocks,
+// page-aligned, homed on the worker that writes them.
+func runJacobiAligned(sys *hyperion.System) hyperion.Time {
+	return sys.Main(func(main *hyperion.Thread) {
+		rowsPer := n / nodes
+		alloc := func() []hyperion.F64Array {
+			blocks := make([]hyperion.F64Array, nodes)
+			for w := 0; w < nodes; w++ {
+				blocks[w] = sys.NewF64ArrayAligned(main, w, rowsPer*n)
+			}
+			return blocks
+		}
+		grids := [2][]hyperion.F64Array{alloc(), alloc()}
+		stencil(sys, main,
+			func(t *hyperion.Thread, g, i, j int) float64 {
+				return grids[g][i/rowsPer].Get(t, (i%rowsPer)*n+j)
+			},
+			func(t *hyperion.Thread, g, i, j int, v float64) {
+				grids[g][i/rowsPer].Set(t, (i%rowsPer)*n+j, v)
+			})
+	})
+}
+
+// runJacobiFlat uses the naive layout: each grid one contiguous array
+// homed on node 0, so worker-block boundaries fall mid-page.
+func runJacobiFlat(sys *hyperion.System) hyperion.Time {
+	return sys.Main(func(main *hyperion.Thread) {
+		grids := [2]hyperion.F64Array{
+			sys.NewF64ArrayAligned(main, 0, n*n),
+			sys.NewF64ArrayAligned(main, 0, n*n),
+		}
+		stencil(sys, main,
+			func(t *hyperion.Thread, g, i, j int) float64 { return grids[g].Get(t, i*n+j) },
+			func(t *hyperion.Thread, g, i, j int, v float64) { grids[g].Set(t, i*n+j, v) })
+	})
+}

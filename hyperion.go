@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jmm"
 	"repro/internal/model"
+	"repro/internal/pagestats"
 	"repro/internal/stats"
 	"repro/internal/threads"
 	"repro/internal/trace"
@@ -90,6 +91,11 @@ type (
 	// run; render it with WritePerfetto for ui.perfetto.dev or
 	// chrome://tracing.
 	TraceBuffer = trace.Buffer
+	// PageReport is the per-page sharing profile of a run: per-page
+	// event counters, reader/writer node sets, and a classification of
+	// every page into private / read_shared / false_shared / migratory /
+	// producer_consumer. Produced by PageStats after EnablePageProfiling.
+	PageReport = pagestats.Report
 )
 
 // Platform presets from the paper's evaluation (§4.2).
@@ -224,6 +230,25 @@ func (s *System) EnableTracing(capacity int) *TraceBuffer {
 	buf := trace.NewBuffer(capacity)
 	s.eng.SetTracer(buf)
 	return buf
+}
+
+// EnablePageProfiling attaches a fresh per-page sharing profiler to the
+// engine. Like tracing it observes the simulation without advancing
+// virtual time; unlike the trace ring it is unbounded but small (a few
+// dozen bytes per distinct page touched remotely). Call before Main,
+// then read the classified report with PageStats.
+func (s *System) EnablePageProfiling() error {
+	return s.eng.SetPageProfiler(pagestats.New())
+}
+
+// PageStats snapshots the per-page sharing report. It returns nil when
+// EnablePageProfiling was never called.
+func (s *System) PageStats() *PageReport {
+	prof := s.eng.PageProfiler()
+	if prof == nil {
+		return nil
+	}
+	return prof.Report()
 }
 
 // NetworkStats reports cumulative message and byte counts.

@@ -212,6 +212,45 @@ func TestCrossProtocolResultEquality(t *testing.T) {
 	}
 }
 
+func TestPageProfilingThroughPublicAPI(t *testing.T) {
+	sys := newSys(t, hyperion.Options{Cluster: hyperion.SCI450(), Nodes: 2, Protocol: "java_pf"})
+	if sys.PageStats() != nil {
+		t.Fatal("PageStats non-nil before EnablePageProfiling")
+	}
+	if err := sys.EnablePageProfiling(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Main(func(t *hyperion.Thread) {
+		arr := sys.NewF64Array(t, 0, 512)
+		var ws []*hyperion.Thread
+		for i := 0; i < 2; i++ {
+			i := i
+			ws = append(ws, sys.Spawn(t, func(w *hyperion.Thread) {
+				for j := i * 256; j < (i+1)*256; j++ {
+					arr.Set(w, j, float64(j))
+				}
+			}))
+		}
+		for _, w := range ws {
+			sys.Join(t, w)
+		}
+	})
+	r := sys.PageStats()
+	if r == nil {
+		t.Fatal("PageStats nil after a profiled run")
+	}
+	if r.Nodes != 2 || r.PagesTracked == 0 || len(r.Pages) != r.PagesTracked {
+		t.Fatalf("report shape %+v", r)
+	}
+	var total int64
+	for _, n := range r.Classes {
+		total += n
+	}
+	if total != int64(len(r.Pages)) {
+		t.Fatalf("class tallies %v over %d pages", r.Classes, len(r.Pages))
+	}
+}
+
 func TestHarnessProtocolsOrder(t *testing.T) {
 	if len(harness.Protocols) != 2 || harness.Protocols[0] != "java_ic" || harness.Protocols[1] != "java_pf" {
 		t.Fatalf("protocol order = %v (figures legend order matters)", harness.Protocols)

@@ -163,6 +163,115 @@ func (j *Jacobi) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
 	}
 }
 
+// Flat is the naive-layout variant of the same stencil: one contiguous
+// N x N mesh in a single allocation homed at node 0 — the layout a
+// direct sequential port produces when the main thread allocates the
+// matrix. Where stock Jacobi's page-aligned, owner-homed row blocks
+// make every owned-row write home-local (zero write-log traffic, the
+// layout the paper's constant-communication result depends on), Flat
+// makes every non-node-0 worker write remotely, and because row-block
+// boundaries fall mid-page, adjacent workers write disjoint byte
+// ranges of the same page: textbook false sharing, built as the page
+// profiler's demonstrator. Not part of the paper's five-benchmark
+// suite.
+type Flat struct {
+	N     int
+	Steps int
+}
+
+// NewFlat returns a Flat instance for an n x n mesh over the given
+// steps.
+func NewFlat(n, steps int) *Flat { return &Flat{N: n, Steps: steps} }
+
+// FlatDefault returns the scaled-down demonstrator instance. n = 250
+// keeps rows (2000 bytes) misaligned with the 4096-byte page, so block
+// boundaries land mid-page for the usual worker counts; n = 256 would
+// page-align every boundary and hide the false sharing.
+func FlatDefault() *Flat { return NewFlat(250, 10) }
+
+// FlatPaper returns a paper-scale-sized instance. 1022 (not 1024)
+// keeps rows page-misaligned for the same reason as FlatDefault.
+func FlatPaper() *Flat { return NewFlat(1022, 100) }
+
+// Name implements apps.App.
+func (j *Flat) Name() string { return "jacobi-flat" }
+
+// Run implements apps.App. Same phases as Jacobi.Run; only the mesh
+// layout differs.
+func (j *Flat) Run(rt *threads.Runtime, h *jmm.Heap, workers int) apps.Check {
+	n := j.N
+	var sample [3]float64
+	rt.Main(func(main *threads.Thread) {
+		const meshHome = 0
+		a := h.NewF64Array(main, meshHome, n*n)
+		b := h.NewF64Array(main, meshHome, n*n)
+		bar := h.NewBarrier(0, workers)
+
+		ws := make([]*threads.Thread, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			ws[w] = rt.Spawn(main, func(t *threads.Thread) {
+				lo, hi := apps.BlockRange(n, workers, w)
+				for i := lo; i < hi; i++ {
+					for col := 0; col < n; col++ {
+						v := 0.0
+						if i == 0 {
+							v = boundaryValue
+						}
+						a.Set(t, i*n+col, v)
+						b.Set(t, i*n+col, v)
+					}
+					t.Compute(float64(n)*4, 0)
+				}
+				bar.Await(t)
+
+				src, dst := a, b
+				for step := 0; step < j.Steps; step++ {
+					for i := lo; i < hi; i++ {
+						if i == 0 || i == n-1 {
+							continue
+						}
+						for col := 1; col < n-1; col++ {
+							up := src.Get(t, (i-1)*n+col)
+							down := src.Get(t, (i+1)*n+col)
+							left := src.Get(t, i*n+col-1)
+							right := src.Get(t, i*n+col+1)
+							dst.Set(t, i*n+col, 0.25*(up+down+left+right))
+						}
+						t.Compute(CellCycles*float64(n-2), CellMemTouch*(n-2))
+					}
+					bar.Await(t)
+					src, dst = dst, src
+				}
+			})
+		}
+		for _, w := range ws {
+			rt.Join(main, w)
+		}
+
+		final := a
+		if j.Steps%2 == 1 {
+			final = b
+		}
+		sample[0] = final.Get(main, 1*n+n/2)
+		sample[1] = final.Get(main, (n/2)*n+n/2)
+		sample[2] = final.Get(main, (n-2)*n+n/2)
+	})
+
+	ref := (&Jacobi{N: j.N, Steps: j.Steps}).reference()
+	refSample := [3]float64{ref[1][n/2], ref[n/2][n/2], ref[n-2][n/2]}
+	maxErr := 0.0
+	for k := range sample {
+		if e := math.Abs(sample[k] - refSample[k]); e > maxErr {
+			maxErr = e
+		}
+	}
+	return apps.Check{
+		Summary: fmt.Sprintf("t(1,mid)=%.6f t(mid,mid)=%.6f maxerr=%.3g", sample[0], sample[1], maxErr),
+		Valid:   maxErr < 1e-9,
+	}
+}
+
 // reference computes the same relaxation sequentially in plain Go.
 func (j *Jacobi) reference() [][]float64 {
 	n := j.N

@@ -35,6 +35,7 @@ import (
 	"repro/internal/jmm"
 	"repro/internal/model"
 	"repro/internal/pages"
+	"repro/internal/pagestats"
 	"repro/internal/stats"
 	"repro/internal/threads"
 )
@@ -57,6 +58,12 @@ type Observation struct {
 	// bit-identical run to run, or every counter surface (CSV, cache,
 	// /v1/results) is noise.
 	Stats core.RunStats
+	// PageStats is the per-page sharing report. Like Stats it measures
+	// cost and is excluded from Diff, with the same intra-protocol
+	// contract: page-event counts must reproduce bit-identically run to
+	// run, or -pagestats output and /v1/sweeps pagestats downloads are
+	// noise.
+	PageStats *pagestats.Report
 }
 
 // Workload is one deterministic program of the differential suite.
@@ -85,16 +92,21 @@ func Execute(w Workload, protocol string) (Observation, error) {
 		return Observation{}, err
 	}
 	eng := core.NewEngine(cl, model.DefaultDSMCosts(), proto)
+	prof := pagestats.New()
+	if err := eng.SetPageProfiler(prof); err != nil {
+		return Observation{}, err
+	}
 	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
 	h := jmm.NewHeap(eng)
 	check, reads := w.Run(rt, h, w.Workers)
 	return Observation{
-		Protocol: protocol,
-		Valid:    check.Valid,
-		Summary:  check.Summary,
-		Heap:     eng.HomeSnapshot(),
-		Reads:    reads,
-		Stats:    eng.RunStats(),
+		Protocol:  protocol,
+		Valid:     check.Valid,
+		Summary:   check.Summary,
+		Heap:      eng.HomeSnapshot(),
+		Reads:     reads,
+		Stats:     eng.RunStats(),
+		PageStats: prof.Report(),
 	}, nil
 }
 

@@ -1,10 +1,13 @@
 package conformance
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/pagestats"
 )
 
 // Every registered protocol must be observationally equivalent on every
@@ -117,6 +120,49 @@ func TestRunStatsAreReproducible(t *testing.T) {
 				// A run that did real cross-node work must show it.
 				if a.Stats.Total.Fetches == 0 {
 					t.Errorf("%s: zero page fetches recorded for a distributed workload", p)
+				}
+			}
+		})
+	}
+}
+
+// The per-page sharing reports inherit the same intra-protocol
+// contract as the counters, in its strongest form: every page-event
+// tally, node bitmask and write envelope is determined by the
+// workload's data flow, so two runs must serialize to bit-identical
+// JSON — the reproducibility claim hyperion-run -pagestats makes, here
+// for every workload under every registered protocol. Each report must
+// also pass the schema validator the CLI and CI apply to exports.
+func TestPageStatsAreBitIdentical(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range core.ProtocolNames() {
+				a, err := Execute(w, p)
+				if err != nil {
+					t.Fatalf("%s: %v", p, err)
+				}
+				b, err := Execute(w, p)
+				if err != nil {
+					t.Fatalf("%s: %v", p, err)
+				}
+				ja, err := json.Marshal(a.PageStats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				jb, err := json.Marshal(b.PageStats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ja, jb) {
+					t.Errorf("%s: page reports differ run to run:\n  run1 %s\n  run2 %s", p, ja, jb)
+				}
+				if err := pagestats.Validate(ja); err != nil {
+					t.Errorf("%s: report fails schema validation: %v", p, err)
+				}
+				if a.PageStats.PagesTracked == 0 {
+					t.Errorf("%s: distributed workload tracked no pages", p)
 				}
 			}
 		})

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/pages"
+	"repro/internal/pagestats"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vtime"
@@ -73,6 +74,11 @@ type Engine struct {
 	// timestamps. Set once before the run via SetTracer.
 	tracer *trace.Buffer
 
+	// prof, when non-nil, accumulates per-page sharing statistics. Set
+	// once before the run via SetPageProfiler; every hook site is a
+	// single nil check when disabled, same bargain as tracer.
+	prof *pagestats.Profiler
+
 	// Precomputed durations (hot path).
 	checkCost  vtime.Duration
 	lookupCost vtime.Duration
@@ -83,6 +89,22 @@ func (e *Engine) SetTracer(b *trace.Buffer) { e.tracer = b }
 
 // Tracer returns the attached recorder, if any.
 func (e *Engine) Tracer() *trace.Buffer { return e.tracer }
+
+// SetPageProfiler attaches a per-page sharing profiler and configures
+// it with the engine's cluster geometry. Call before spawning threads;
+// attach a fresh profiler per run.
+func (e *Engine) SetPageProfiler(p *pagestats.Profiler) error {
+	if p != nil {
+		if err := p.Configure(e.cl.Size(), e.space.PageSize(), e.space.Home); err != nil {
+			return err
+		}
+	}
+	e.prof = p
+	return nil
+}
+
+// PageProfiler returns the attached profiler, if any.
+func (e *Engine) PageProfiler() *pagestats.Profiler { return e.prof }
 
 // traceEvent records an event when tracing is enabled. With no tracer
 // attached this is one nil check and no allocations.
@@ -195,6 +217,9 @@ func (e *Engine) LoadIntoCache(ctx *Ctx, p pages.PageID, access pages.Access) *p
 	if e.tracer != nil {
 		e.traceEvent(ctx.clock.Now(), ctx.node, ctx.tid, trace.EvFetch, int64(p), int64(nm.cache.Len()))
 	}
+	if e.prof != nil {
+		e.prof.NoteFetch(ctx.node, p)
+	}
 	if cap := e.costs.CacheCapacityPages; cap > 0 {
 		e.recordAndMaybeEvict(ctx, nm, p, cap)
 	}
@@ -238,6 +263,9 @@ func (e *Engine) recordAndMaybeEvict(ctx *Ctx, nm *nodeMem, p pages.PageID, capa
 	if nm.cache.Drop(victim) {
 		e.cnt.AddInvalidations(1)
 		atomic.AddInt64(&e.runStats[ctx.node].InvalidatedPages, 1)
+		if e.prof != nil {
+			e.prof.NoteInvalidate(ctx.node, victim)
+		}
 		e.proto.OnInvalidate(ctx, 1)
 	}
 }
@@ -251,7 +279,16 @@ func (e *Engine) InvalidateCache(ctx *Ctx) int {
 	nm.fifoMu.Lock()
 	nm.fifo = nm.fifo[:0]
 	nm.fifoMu.Unlock()
-	n := nm.cache.DropAll(nil)
+	var n int
+	if prof := e.prof; prof != nil {
+		node := ctx.node
+		n = nm.cache.DropAll(func(f *pages.Frame) bool {
+			prof.NoteInvalidate(node, f.Page())
+			return false
+		})
+	} else {
+		n = nm.cache.DropAll(nil)
+	}
 	ctx.invalidateFastPath()
 	e.cnt.AddInvalidations(int64(n))
 	atomic.AddInt64(&e.runStats[ctx.node].InvalidatedPages, int64(n))
@@ -286,6 +323,15 @@ func (e *Engine) flushHomes(ctx *Ctx, batched bool) {
 	groups := e.nodes[ctx.node].log.Take(e.space.Home)
 	if len(groups) == 0 {
 		return
+	}
+	if prof := e.prof; prof != nil {
+		// Every flushed span attributes its modified byte range to this
+		// node — the raw material of the false-sharing detector.
+		for _, spans := range groups {
+			for _, s := range spans {
+				prof.NoteWrite(ctx.node, s.page, s.off, len(s.data))
+			}
+		}
 	}
 	homes := make([]int, 0, len(groups))
 	for h := range groups {
@@ -351,6 +397,9 @@ func (e *Engine) RefreshCache(ctx *Ctx) int {
 		if e.tracer != nil {
 			e.traceEvent(ctx.clock.Now(), ctx.node, ctx.tid, trace.EvFetch, int64(p), int64(nm.cache.Len()))
 		}
+		if e.prof != nil {
+			e.prof.NoteFetch(ctx.node, p)
+		}
 	}
 	return len(cached)
 }
@@ -404,6 +453,9 @@ func (e *Engine) pageFaultAccess(ctx *Ctx, pg pages.PageID, isHome bool) *pages.
 	e.cnt.AddPageFaults(1)
 	atomic.AddInt64(&e.runStats[ctx.node].Faults, 1)
 	e.traceEvent(ctx.clock.Now(), ctx.node, ctx.tid, trace.EvFault, int64(pg), 0)
+	if e.prof != nil {
+		e.prof.NoteFault(ctx.node, pg)
+	}
 	f := e.LoadIntoCache(ctx, pg, pages.ReadWrite)
 	ctx.clock.Advance(m.Mprotect)
 	e.cnt.AddMprotectCalls(1)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jmm"
 	"repro/internal/model"
+	"repro/internal/pagestats"
 	"repro/internal/stats"
 	"repro/internal/threads"
 	"repro/internal/trace"
@@ -36,6 +37,10 @@ type RunConfig struct {
 	Costs *model.DSMCosts
 	// Tracer, when non-nil, records protocol events during the run.
 	Tracer *trace.Buffer
+	// PageProfiler, when non-nil, accumulates per-page sharing
+	// statistics during the run; its report lands in Result.PageStats.
+	// One profiler belongs to one run — attach a fresh one per repeat.
+	PageProfiler *pagestats.Profiler
 }
 
 // Result is the outcome of one run.
@@ -52,8 +57,13 @@ type Result struct {
 	// Time. It serializes with the result into sweep caches and the
 	// experiment server's /v1/results.
 	RunStats core.RunStats `json:"run_stats"`
-	Messages int64
-	Bytes    int64
+	// PageStats is the per-page sharing report, present only when the
+	// run was profiled (RunConfig.PageProfiler / sweep's page_stats
+	// knob). omitempty keeps unprofiled cache entries byte-identical to
+	// pre-profiler ones.
+	PageStats *pagestats.Report `json:"page_stats,omitempty"`
+	Messages  int64
+	Bytes     int64
 }
 
 // Seconds reports the run's execution time in (virtual) seconds, the
@@ -86,6 +96,11 @@ func Run(app apps.App, cfg RunConfig) (Result, error) {
 	if cfg.Tracer != nil {
 		eng.SetTracer(cfg.Tracer)
 	}
+	if cfg.PageProfiler != nil {
+		if err := eng.SetPageProfiler(cfg.PageProfiler); err != nil {
+			return Result{}, err
+		}
+	}
 	rt := threads.NewRuntime(eng, threads.RoundRobin{}, threads.DefaultCosts())
 	if cfg.ThreadsPerNode > 1 {
 		// The modeled nodes are uniprocessors: k threads time-share the
@@ -98,18 +113,23 @@ func Run(app apps.App, cfg RunConfig) (Result, error) {
 	workers := cfg.Nodes * cfg.ThreadsPerNode
 	check := app.Run(rt, h, workers)
 	msgs, bytes := cl.Network().Stats()
+	var pageStats *pagestats.Report
+	if cfg.PageProfiler != nil {
+		pageStats = cfg.PageProfiler.Report()
+	}
 	return Result{
-		App:      app.Name(),
-		Cluster:  cfg.Cluster.Name,
-		Nodes:    cfg.Nodes,
-		Workers:  workers,
-		Protocol: cfg.Protocol,
-		Time:     rt.LastEnd(),
-		Check:    check,
-		Stats:    cnt.Snapshot(),
-		RunStats: eng.RunStats(),
-		Messages: msgs,
-		Bytes:    bytes,
+		App:       app.Name(),
+		Cluster:   cfg.Cluster.Name,
+		Nodes:     cfg.Nodes,
+		Workers:   workers,
+		Protocol:  cfg.Protocol,
+		Time:      rt.LastEnd(),
+		Check:     check,
+		Stats:     cnt.Snapshot(),
+		RunStats:  eng.RunStats(),
+		PageStats: pageStats,
+		Messages:  msgs,
+		Bytes:     bytes,
 	}, nil
 }
 

@@ -1,0 +1,544 @@
+// Package pagestats is the per-page sharing profiler: the data plane
+// behind "which pages caused the traffic, and what sharing pattern made
+// one protocol beat another". The engine feeds it from the same choke
+// points the trace ring taps (fault, fetch, invalidate, write-log
+// flush); per page it accumulates event counters, reader/writer node
+// bitmasks and per-node written-byte envelopes, and the report
+// classifies every page into one of five classic DSM sharing patterns.
+//
+// Two properties the rest of the system depends on:
+//
+//   - Opt-in and allocation-free when disabled. The engine holds a nil
+//     *Profiler by default and every hook site is a single pointer
+//     check, the same bargain Engine.SetTracer makes (pinned by an
+//     AllocsPerRun test in internal/core).
+//
+//   - Deterministic. Every update is commutative (counter adds, bitmask
+//     ORs, min/max envelopes) and the report sorts pages by id, so two
+//     runs of the same deterministic workload produce bit-identical
+//     reports no matter how the host scheduler interleaved the
+//     simulated threads. Conformance asserts this.
+//
+// What the profiler sees is DSM traffic, not raw memory accesses: a
+// thread touching pages homed on its own node never faults, fetches or
+// flushes, so home-local work is invisible by design. That asymmetry is
+// the point — the profiler measures exactly the sharing the protocol
+// has to pay for.
+package pagestats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/pages"
+)
+
+// Classification labels. ClassNames returns them in rubric order.
+const (
+	ClassPrivate          = "private"
+	ClassReadShared       = "read_shared"
+	ClassFalseShared      = "false_shared"
+	ClassMigratory        = "migratory"
+	ClassProducerConsumer = "producer_consumer"
+)
+
+// ClassNames lists the classification labels in the order the rubric
+// tests them (see classify).
+func ClassNames() []string {
+	return []string{ClassPrivate, ClassReadShared, ClassFalseShared, ClassMigratory, ClassProducerConsumer}
+}
+
+// pageState is the live per-page accumulator. All fields update
+// commutatively under the profiler mutex.
+type pageState struct {
+	faults        int64
+	fetches       int64
+	invalidations int64
+	diffBytes     int64
+	readers       uint64 // node bitmask: fetched the page
+	writers       uint64 // node bitmask: flushed a diff span for the page
+	// ranges holds one written-byte envelope [lo,hi) per writer node,
+	// indexed by position of insertion (at most one entry per node).
+	ranges []nodeRange
+}
+
+type nodeRange struct {
+	node   int
+	lo, hi int
+}
+
+// Profiler accumulates per-page sharing statistics for one engine run.
+// The zero value is not usable; call New, then the engine's
+// SetPageProfiler configures it with cluster geometry. One profiler
+// belongs to one run: attach a fresh one per repeat.
+type Profiler struct {
+	mu       sync.Mutex
+	nodes    int
+	pageSize int
+	homeOf   func(pages.PageID) int
+	pages    map[pages.PageID]*pageState
+}
+
+// New returns an empty profiler. Geometry arrives via Configure when
+// the engine adopts it.
+func New() *Profiler {
+	return &Profiler{pages: make(map[pages.PageID]*pageState)}
+}
+
+// Configure records the cluster geometry the report needs. The engine
+// calls this from SetPageProfiler; tests may call it directly.
+// Profilers with more than 64 nodes are rejected because reader/writer
+// sets are single-word bitmasks — far above the paper's largest
+// cluster.
+func (p *Profiler) Configure(nodes, pageSize int, homeOf func(pages.PageID) int) error {
+	if nodes <= 0 || nodes > 64 {
+		return fmt.Errorf("pagestats: %d nodes outside supported range 1..64", nodes)
+	}
+	if pageSize <= 0 {
+		return fmt.Errorf("pagestats: page size %d", pageSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nodes = nodes
+	p.pageSize = pageSize
+	p.homeOf = homeOf
+	return nil
+}
+
+func (p *Profiler) state(pg pages.PageID) *pageState {
+	ps := p.pages[pg]
+	if ps == nil {
+		ps = &pageState{}
+		p.pages[pg] = ps
+	}
+	return ps
+}
+
+// NoteFault records a page fault taken by node on pg.
+func (p *Profiler) NoteFault(node int, pg pages.PageID) {
+	p.mu.Lock()
+	ps := p.state(pg)
+	ps.faults++
+	ps.readers |= 1 << uint(node)
+	p.mu.Unlock()
+}
+
+// NoteFetch records node pulling pg from its home (initial load or
+// refresh). The node joins the page's reader set: a fetch is the DSM
+// evidence that the node consumed the page.
+func (p *Profiler) NoteFetch(node int, pg pages.PageID) {
+	p.mu.Lock()
+	ps := p.state(pg)
+	ps.fetches++
+	ps.readers |= 1 << uint(node)
+	p.mu.Unlock()
+}
+
+// NoteInvalidate records node dropping its cached copy of pg, whether
+// by coherence action (acquire-time invalidation) or eviction. The
+// node is accepted for hook symmetry; invalidations are counted per
+// page, not per node.
+func (p *Profiler) NoteInvalidate(_ int, pg pages.PageID) {
+	p.mu.Lock()
+	ps := p.state(pg)
+	ps.invalidations++
+	p.mu.Unlock()
+}
+
+// NoteWrite records one write-log span: node flushed n modified bytes
+// of pg starting at byte offset off. The node joins the writer set and
+// its per-node envelope [lo,hi) widens to cover the span; envelopes
+// are what the false-sharing detector compares.
+func (p *Profiler) NoteWrite(node int, pg pages.PageID, off, n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	ps := p.state(pg)
+	ps.diffBytes += int64(n)
+	ps.writers |= 1 << uint(node)
+	found := false
+	for i := range ps.ranges {
+		if ps.ranges[i].node == node {
+			if off < ps.ranges[i].lo {
+				ps.ranges[i].lo = off
+			}
+			if off+n > ps.ranges[i].hi {
+				ps.ranges[i].hi = off + n
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		ps.ranges = append(ps.ranges, nodeRange{node: node, lo: off, hi: off + n})
+	}
+	p.mu.Unlock()
+}
+
+// PagesTracked reports how many distinct pages have accumulated events.
+func (p *Profiler) PagesTracked() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pages)
+}
+
+// Bytes estimates the profiler's memory footprint: the operator-facing
+// cost of leaving profiling on. Deterministic by construction (derived
+// from tracked state, not the allocator).
+func (p *Profiler) Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytesLocked()
+}
+
+func (p *Profiler) bytesLocked() int64 {
+	const perPage = 8 + 8 + 80 // map key + pointer + pageState header
+	const perRange = 24
+	b := int64(len(p.pages)) * perPage
+	for _, ps := range p.pages {
+		b += int64(len(ps.ranges)) * perRange
+	}
+	return b
+}
+
+// WriteRange is one node's written-byte envelope on a page, as
+// observed from its flushed write-log spans. Envelopes over-approximate
+// scattered writes (they cover [min,max) of everything the node
+// flushed), so "disjoint envelopes" is conservative evidence of false
+// sharing: exact for contiguous writes like row blocks, and never
+// claimed when scattered writes could have overlapped.
+type WriteRange struct {
+	Node int `json:"node"`
+	Lo   int `json:"lo"`
+	Hi   int `json:"hi"`
+}
+
+// PageStat is one page's row in the report.
+type PageStat struct {
+	Page          uint64       `json:"page"`
+	Home          int          `json:"home"`
+	Class         string       `json:"class"`
+	Faults        int64        `json:"faults"`
+	Fetches       int64        `json:"fetches"`
+	Invalidations int64        `json:"invalidations"`
+	DiffBytes     int64        `json:"diff_bytes"`
+	Readers       []int        `json:"readers,omitempty"`
+	Writers       []int        `json:"writers,omitempty"`
+	WriteRanges   []WriteRange `json:"write_ranges,omitempty"`
+}
+
+// score orders the hot-page report: total DSM events on the page.
+func (s *PageStat) score() int64 { return s.Faults + s.Fetches + s.Invalidations }
+
+// Report is the profiler's deterministic end-of-run summary. Pages are
+// sorted by page id; Classes tallies pages per label; FalseShared
+// repeats the false-shared page ids for direct consumption (acceptance
+// checks, dashboards) without a scan.
+type Report struct {
+	Nodes         int              `json:"nodes"`
+	PageSize      int              `json:"page_size"`
+	PagesTracked  int              `json:"pages_tracked"`
+	ProfilerBytes int64            `json:"profiler_bytes"`
+	Classes       map[string]int64 `json:"classes"`
+	FalseShared   []uint64         `json:"false_shared"`
+	Pages         []PageStat       `json:"pages"`
+}
+
+// Report snapshots the profiler into a classified, page-sorted report.
+// Safe to call while the run is still mutating the profiler (it locks),
+// but reports are meaningful at run end.
+func (p *Profiler) Report() *Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := &Report{
+		Nodes:         p.nodes,
+		PageSize:      p.pageSize,
+		PagesTracked:  len(p.pages),
+		ProfilerBytes: p.bytesLocked(),
+		Classes:       make(map[string]int64, len(ClassNames())),
+		FalseShared:   []uint64{},
+		Pages:         make([]PageStat, 0, len(p.pages)),
+	}
+	for _, name := range ClassNames() {
+		r.Classes[name] = 0
+	}
+	ids := make([]pages.PageID, 0, len(p.pages))
+	for pg := range p.pages {
+		ids = append(ids, pg)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, pg := range ids {
+		ps := p.pages[pg]
+		st := PageStat{
+			Page:          uint64(pg),
+			Class:         classify(ps),
+			Faults:        ps.faults,
+			Fetches:       ps.fetches,
+			Invalidations: ps.invalidations,
+			DiffBytes:     ps.diffBytes,
+			Readers:       maskToNodes(ps.readers),
+			Writers:       maskToNodes(ps.writers),
+			WriteRanges:   sortedRanges(ps.ranges),
+		}
+		if p.homeOf != nil {
+			st.Home = p.homeOf(pg)
+		}
+		r.Classes[st.Class]++
+		if st.Class == ClassFalseShared {
+			r.FalseShared = append(r.FalseShared, st.Page)
+		}
+		r.Pages = append(r.Pages, st)
+	}
+	return r
+}
+
+// classify applies the sharing-pattern rubric, first match wins:
+//
+//  1. private — at most one node ever touched the page remotely.
+//  2. read_shared — several readers, nobody wrote.
+//  3. false_shared — two or more writers whose written-byte envelopes
+//     are pairwise disjoint: the nodes never contended for the same
+//     bytes, only for the page.
+//  4. migratory — two or more writers with overlapping envelopes: the
+//     data itself bounces between nodes (pi's shared accumulator).
+//  5. producer_consumer — exactly one writer plus at least one other
+//     sharer: one node produces, others consume (boundary rows).
+func classify(ps *pageState) string {
+	sharers := bits.OnesCount64(ps.readers | ps.writers)
+	writers := bits.OnesCount64(ps.writers)
+	switch {
+	case sharers <= 1:
+		return ClassPrivate
+	case writers == 0:
+		return ClassReadShared
+	case writers >= 2 && disjointRanges(ps.ranges):
+		return ClassFalseShared
+	case writers >= 2:
+		return ClassMigratory
+	default:
+		return ClassProducerConsumer
+	}
+}
+
+// disjointRanges reports whether the per-node envelopes are pairwise
+// non-overlapping.
+func disjointRanges(rs []nodeRange) bool {
+	sorted := sortedRanges(rs)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Lo < sorted[i-1].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedRanges(rs []nodeRange) []WriteRange {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]WriteRange, len(rs))
+	for i, r := range rs {
+		out[i] = WriteRange{Node: r.node, Lo: r.lo, Hi: r.hi}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+func maskToNodes(mask uint64) []int {
+	if mask == 0 {
+		return nil
+	}
+	out := make([]int, 0, bits.OnesCount64(mask))
+	for n := 0; mask != 0; n++ {
+		if mask&1 != 0 {
+			out = append(out, n)
+		}
+		mask >>= 1
+	}
+	return out
+}
+
+// Hot returns the n hottest pages by total DSM events (faults + fetches
+// + invalidations), ties broken by diff bytes then ascending page id so
+// the order is total.
+func (r *Report) Hot(n int) []PageStat {
+	out := make([]PageStat, len(r.Pages))
+	copy(out, r.Pages)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].score(), out[j].score()
+		if si != sj {
+			return si > sj
+		}
+		if out[i].DiffBytes != out[j].DiffBytes {
+			return out[i].DiffBytes > out[j].DiffBytes
+		}
+		return out[i].Page < out[j].Page
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteCSV writes the per-page table as CSV, one row per page in page
+// order. Node lists and ranges are space-separated inside their cell.
+func (r *Report) WriteCSV(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteString("page,home,class,faults,fetches,invalidations,diff_bytes,readers,writers,write_ranges\n")
+	for i := range r.Pages {
+		s := &r.Pages[i]
+		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%d,%d,%s,%s,%s\n",
+			s.Page, s.Home, s.Class, s.Faults, s.Fetches, s.Invalidations, s.DiffBytes,
+			joinInts(s.Readers), joinInts(s.Writers), joinRanges(s.WriteRanges))
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func joinInts(ns []int) string {
+	var b bytes.Buffer
+	for i, n := range ns {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	return b.String()
+}
+
+func joinRanges(rs []WriteRange) string {
+	var b bytes.Buffer
+	for i, r := range rs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d-%d", r.Node, r.Lo, r.Hi)
+	}
+	return b.String()
+}
+
+// Validate checks that data is a structurally sound pagestats report:
+// the schema gate hyperion-trace-check -pagestats applies to CLI and
+// server downloads in CI. It enforces strict field names, geometry
+// sanity, sorted unique page ids, class-label validity, tally
+// consistency between Classes / FalseShared / Pages, node ids within
+// the cluster, and write ranges within the page.
+func Validate(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("pagestats: decode: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return err
+	}
+	if r.Nodes <= 0 || r.Nodes > 64 {
+		return fmt.Errorf("pagestats: nodes %d outside 1..64", r.Nodes)
+	}
+	if r.PageSize <= 0 {
+		return fmt.Errorf("pagestats: page_size %d", r.PageSize)
+	}
+	if r.PagesTracked != len(r.Pages) {
+		return fmt.Errorf("pagestats: pages_tracked %d but %d pages listed", r.PagesTracked, len(r.Pages))
+	}
+	valid := make(map[string]bool, len(ClassNames()))
+	for _, name := range ClassNames() {
+		valid[name] = true
+	}
+	tally := make(map[string]int64)
+	var falseShared []uint64
+	for i := range r.Pages {
+		s := &r.Pages[i]
+		if i > 0 && r.Pages[i-1].Page >= s.Page {
+			return fmt.Errorf("pagestats: pages out of order at index %d (page %d)", i, s.Page)
+		}
+		if !valid[s.Class] {
+			return fmt.Errorf("pagestats: page %d has unknown class %q", s.Page, s.Class)
+		}
+		if s.Home < 0 || s.Home >= r.Nodes {
+			return fmt.Errorf("pagestats: page %d home %d outside cluster", s.Page, s.Home)
+		}
+		if s.Faults < 0 || s.Fetches < 0 || s.Invalidations < 0 || s.DiffBytes < 0 {
+			return fmt.Errorf("pagestats: page %d has a negative counter", s.Page)
+		}
+		if err := checkNodes(s.Readers, r.Nodes, s.Page, "readers"); err != nil {
+			return err
+		}
+		if err := checkNodes(s.Writers, r.Nodes, s.Page, "writers"); err != nil {
+			return err
+		}
+		writerSet := make(map[int]bool, len(s.Writers))
+		for _, n := range s.Writers {
+			writerSet[n] = true
+		}
+		for _, wr := range s.WriteRanges {
+			if !writerSet[wr.Node] {
+				return fmt.Errorf("pagestats: page %d has a write range for non-writer node %d", s.Page, wr.Node)
+			}
+			if wr.Lo < 0 || wr.Lo >= wr.Hi || wr.Hi > r.PageSize {
+				return fmt.Errorf("pagestats: page %d range [%d,%d) outside page of %d bytes", s.Page, wr.Lo, wr.Hi, r.PageSize)
+			}
+		}
+		tally[s.Class]++
+		if s.Class == ClassFalseShared {
+			falseShared = append(falseShared, s.Page)
+		}
+	}
+	var total int64
+	for name, n := range r.Classes {
+		if !valid[name] {
+			return fmt.Errorf("pagestats: classes lists unknown label %q", name)
+		}
+		if n < 0 {
+			return fmt.Errorf("pagestats: classes[%q] = %d", name, n)
+		}
+		if n != tally[name] {
+			return fmt.Errorf("pagestats: classes[%q] = %d but %d pages carry it", name, n, tally[name])
+		}
+		total += n
+	}
+	if total != int64(len(r.Pages)) {
+		return fmt.Errorf("pagestats: class tallies sum to %d over %d pages", total, len(r.Pages))
+	}
+	if len(falseShared) != len(r.FalseShared) {
+		return fmt.Errorf("pagestats: false_shared lists %d pages but %d are classified so", len(r.FalseShared), len(falseShared))
+	}
+	for i, pg := range falseShared {
+		if r.FalseShared[i] != pg {
+			return fmt.Errorf("pagestats: false_shared[%d] = %d, want %d", i, r.FalseShared[i], pg)
+		}
+	}
+	return nil
+}
+
+func checkNodes(ns []int, nodes int, pg uint64, what string) error {
+	for i, n := range ns {
+		if n < 0 || n >= nodes {
+			return fmt.Errorf("pagestats: page %d %s node %d outside cluster", pg, what, n)
+		}
+		if i > 0 && ns[i-1] >= n {
+			return fmt.Errorf("pagestats: page %d %s not sorted unique", pg, what)
+		}
+	}
+	return nil
+}
+
+func checkTrailing(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("pagestats: trailing data after report")
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package pagestats
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/pages"
+)
+
+// event is one synthetic profiler call for the table-driven classifier
+// tests below.
+type event struct {
+	kind string // fault, fetch, inval, write
+	node int
+	off  int
+	n    int
+}
+
+func feed(t *testing.T, evs []event) *Profiler {
+	t.Helper()
+	p := New()
+	if err := p.Configure(4, 4096, func(pages.PageID) int { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	const pg = pages.PageID(7)
+	for _, e := range evs {
+		switch e.kind {
+		case "fault":
+			p.NoteFault(e.node, pg)
+		case "fetch":
+			p.NoteFetch(e.node, pg)
+		case "inval":
+			p.NoteInvalidate(e.node, pg)
+		case "write":
+			p.NoteWrite(e.node, pg, e.off, e.n)
+		default:
+			t.Fatalf("bad event kind %q", e.kind)
+		}
+	}
+	return p
+}
+
+// TestClassifier drives one synthetic access sequence per pattern label
+// and asserts the rubric lands on it.
+func TestClassifier(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []event
+		want string
+	}{
+		{
+			// One remote node faults, fetches and writes back: nobody
+			// else ever touches the page.
+			name: "private",
+			evs: []event{
+				{kind: "fault", node: 2}, {kind: "fetch", node: 2},
+				{kind: "write", node: 2, off: 0, n: 64},
+			},
+			want: ClassPrivate,
+		},
+		{
+			// Three nodes fetch repeatedly, no diffs ever flushed:
+			// read-only replication.
+			name: "read_shared",
+			evs: []event{
+				{kind: "fetch", node: 1}, {kind: "fetch", node: 2},
+				{kind: "fetch", node: 3}, {kind: "fetch", node: 1},
+			},
+			want: ClassReadShared,
+		},
+		{
+			// Two nodes write strictly disjoint halves of the page:
+			// the page ping-pongs but the bytes never conflict.
+			name: "false_shared",
+			evs: []event{
+				{kind: "fetch", node: 1}, {kind: "fetch", node: 2},
+				{kind: "write", node: 1, off: 0, n: 2048},
+				{kind: "write", node: 2, off: 2048, n: 2048},
+				{kind: "inval", node: 1}, {kind: "inval", node: 2},
+			},
+			want: ClassFalseShared,
+		},
+		{
+			// Two nodes update the same accumulator word in turn —
+			// pi's monitor-guarded total.
+			name: "migratory",
+			evs: []event{
+				{kind: "fault", node: 1}, {kind: "write", node: 1, off: 0, n: 8},
+				{kind: "inval", node: 1},
+				{kind: "fault", node: 2}, {kind: "write", node: 2, off: 0, n: 8},
+			},
+			want: ClassMigratory,
+		},
+		{
+			// One node writes a boundary row, neighbours only read it.
+			name: "producer_consumer",
+			evs: []event{
+				{kind: "write", node: 1, off: 512, n: 512},
+				{kind: "fetch", node: 2}, {kind: "fetch", node: 3},
+			},
+			want: ClassProducerConsumer,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := feed(t, tc.evs).Report()
+			if len(r.Pages) != 1 {
+				t.Fatalf("tracked %d pages, want 1", len(r.Pages))
+			}
+			if got := r.Pages[0].Class; got != tc.want {
+				t.Fatalf("classified %q, want %q (page %+v)", got, tc.want, r.Pages[0])
+			}
+			if r.Classes[tc.want] != 1 {
+				t.Errorf("Classes[%q] = %d, want 1", tc.want, r.Classes[tc.want])
+			}
+			isFS := tc.want == ClassFalseShared
+			if (len(r.FalseShared) == 1) != isFS {
+				t.Errorf("FalseShared = %v for class %q", r.FalseShared, tc.want)
+			}
+		})
+	}
+}
+
+// Touching envelopes ([0,2048) then [2040,4096)) overlap by 8 bytes:
+// that is byte contention, not false sharing.
+func TestOverlappingEnvelopesAreMigratory(t *testing.T) {
+	p := feed(t, []event{
+		{kind: "write", node: 1, off: 0, n: 2048},
+		{kind: "write", node: 2, off: 2040, n: 2056}, // [2040,4096)
+	})
+	r := p.Report()
+	if got := r.Pages[0].Class; got != ClassMigratory {
+		t.Fatalf("classified %q, want migratory", got)
+	}
+}
+
+func TestReportShapeAndCounters(t *testing.T) {
+	p := New()
+	if err := p.Configure(2, 4096, func(pg pages.PageID) int { return int(pg) % 2 }); err != nil {
+		t.Fatal(err)
+	}
+	p.NoteFault(1, 3)
+	p.NoteFetch(1, 3)
+	p.NoteWrite(1, 3, 16, 8)
+	p.NoteWrite(1, 3, 8, 8) // widens the envelope to [8,24)
+	p.NoteInvalidate(1, 3)
+	p.NoteFetch(1, 2)
+
+	r := p.Report()
+	if r.Nodes != 2 || r.PageSize != 4096 || r.PagesTracked != 2 || len(r.Pages) != 2 {
+		t.Fatalf("report shape %+v", r)
+	}
+	if r.Pages[0].Page != 2 || r.Pages[1].Page != 3 {
+		t.Fatalf("pages not sorted: %v, %v", r.Pages[0].Page, r.Pages[1].Page)
+	}
+	s := r.Pages[1]
+	if s.Faults != 1 || s.Fetches != 1 || s.Invalidations != 1 || s.DiffBytes != 16 {
+		t.Errorf("counters %+v", s)
+	}
+	if s.Home != 1 {
+		t.Errorf("home = %d, want 1", s.Home)
+	}
+	if len(s.WriteRanges) != 1 || s.WriteRanges[0] != (WriteRange{Node: 1, Lo: 8, Hi: 24}) {
+		t.Errorf("write ranges %+v", s.WriteRanges)
+	}
+	if p.PagesTracked() != 2 || p.Bytes() <= 0 {
+		t.Errorf("PagesTracked=%d Bytes=%d", p.PagesTracked(), p.Bytes())
+	}
+	if r.ProfilerBytes != p.Bytes() {
+		t.Errorf("ProfilerBytes %d != Bytes() %d", r.ProfilerBytes, p.Bytes())
+	}
+}
+
+func TestHotOrdersByActivity(t *testing.T) {
+	p := New()
+	if err := p.Configure(2, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.NoteFetch(1, 10) // 5 events
+	}
+	p.NoteFetch(1, 11) // 1 event
+	for i := 0; i < 3; i++ {
+		p.NoteFault(1, 12) // 3 events
+	}
+	hot := p.Report().Hot(2)
+	if len(hot) != 2 || hot[0].Page != 10 || hot[1].Page != 12 {
+		t.Fatalf("hot order %+v", hot)
+	}
+	if all := p.Report().Hot(100); len(all) != 3 {
+		t.Fatalf("Hot(100) returned %d pages", len(all))
+	}
+}
+
+func TestValidateAcceptsRealReport(t *testing.T) {
+	p := feed(t, []event{
+		{kind: "fetch", node: 1}, {kind: "fetch", node: 2},
+		{kind: "write", node: 1, off: 0, n: 128},
+		{kind: "write", node: 2, off: 1024, n: 128},
+	})
+	blob, err := json.Marshal(p.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(blob); err != nil {
+		t.Fatalf("Validate rejected a real report: %v\n%s", err, blob)
+	}
+}
+
+func TestValidateRejectsCorruptReports(t *testing.T) {
+	base := func() *Report {
+		p := feed(t, []event{
+			{kind: "fetch", node: 1}, {kind: "fetch", node: 2},
+			{kind: "write", node: 1, off: 0, n: 128},
+			{kind: "write", node: 2, off: 1024, n: 128},
+		})
+		return p.Report()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"zero page size", func(r *Report) { r.PageSize = 0 }},
+		{"tracked mismatch", func(r *Report) { r.PagesTracked++ }},
+		{"unknown class", func(r *Report) { r.Pages[0].Class = "hot" }},
+		{"tally mismatch", func(r *Report) { r.Classes[ClassPrivate] = 9 }},
+		{"false_shared mismatch", func(r *Report) { r.FalseShared = nil }},
+		{"reader outside cluster", func(r *Report) { r.Pages[0].Readers = []int{99} }},
+		{"range outside page", func(r *Report) { r.Pages[0].WriteRanges[0].Hi = 1 << 20 }},
+		{"range for non-writer", func(r *Report) { r.Pages[0].WriteRanges[0].Node = 3 }},
+		{"negative counter", func(r *Report) { r.Pages[0].Faults = -1 }},
+		{"home outside cluster", func(r *Report) { r.Pages[0].Home = 64 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := base()
+			tc.mutate(r)
+			blob, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Validate(blob) == nil {
+				t.Fatalf("Validate accepted corrupt report: %s", blob)
+			}
+		})
+	}
+	if Validate([]byte(`{"nodes":1,"page_size":4096,"bogus":1}`)) == nil {
+		t.Error("Validate accepted an unknown field")
+	}
+	if Validate([]byte(`{"nodes":1,"page_size":4096,"pages_tracked":0,"classes":{},"false_shared":[],"pages":[]} trailing`)) == nil {
+		t.Error("Validate accepted trailing data")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := feed(t, []event{
+		{kind: "fetch", node: 1},
+		{kind: "write", node: 1, off: 64, n: 16},
+	})
+	var buf bytes.Buffer
+	if err := p.Report().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "page,home,class,") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "private") || !strings.Contains(lines[1], "1:64-80") {
+		t.Errorf("row %q", lines[1])
+	}
+}
+
+// Reports must be bit-identical regardless of the interleaving that
+// produced the updates: all profiler operations commute.
+func TestReportDeterministicUnderReordering(t *testing.T) {
+	evs := []event{
+		{kind: "fault", node: 1}, {kind: "fetch", node: 1},
+		{kind: "write", node: 1, off: 0, n: 512},
+		{kind: "fault", node: 2}, {kind: "fetch", node: 2},
+		{kind: "write", node: 2, off: 1024, n: 512},
+		{kind: "inval", node: 1},
+	}
+	rev := make([]event, len(evs))
+	for i, e := range evs {
+		rev[len(evs)-1-i] = e
+	}
+	a, _ := json.Marshal(feed(t, evs).Report())
+	b, _ := json.Marshal(feed(t, rev).Report())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reorder changed the report:\n%s\n%s", a, b)
+	}
+}
+
+func TestConfigureRejectsBadGeometry(t *testing.T) {
+	if New().Configure(0, 4096, nil) == nil {
+		t.Error("accepted 0 nodes")
+	}
+	if New().Configure(65, 4096, nil) == nil {
+		t.Error("accepted 65 nodes")
+	}
+	if New().Configure(4, 0, nil) == nil {
+		t.Error("accepted 0 page size")
+	}
+}

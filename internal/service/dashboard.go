@@ -10,7 +10,9 @@ import (
 // queue depth, per-protocol latency histograms, SSE subscriber and
 // trace-drop counters, polls GET /v1/sweeps for the job table, and
 // attaches to running jobs' SSE /events streams for live per-point
-// progress. Embedded so the server binary stays a single file.
+// progress. For the newest job profiled with "page_stats": true it also
+// fetches /v1/sweeps/{id}/pagestats and renders the sharing-class tally
+// and hottest pages. Embedded so the server binary stays a single file.
 //
 //go:embed dashboard.html
 var dashboardHTML []byte

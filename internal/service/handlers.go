@@ -25,6 +25,7 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/sweeps/{id}       job status + partial results
 //	GET  /v1/sweeps/{id}/events  SSE: one event per completed point
 //	GET  /v1/sweeps/{id}/trace   Perfetto trace of one traced point
+//	GET  /v1/sweeps/{id}/pagestats  per-page sharing report of one point
 //	GET  /v1/results           query the result cache by axis
 //	GET  /healthz              liveness
 //	GET  /metrics              text-format operational counters
@@ -42,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/sweeps/{id}/pagestats", s.handlePageStats)
 	mux.HandleFunc("GET /v1/results", s.handleResults)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -220,6 +222,37 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-point%d.trace.json", j.id, point)))
 	buf.WritePerfetto(w) //nolint:errcheck // the client is gone if this fails
+}
+
+// handlePageStats serves one point's per-page sharing report (the
+// pagestats.Report JSON the CLI's -pagestats flag writes). The point is
+// selected by its 0-based index (?point=N, default 0); 404 means no
+// report exists there — the job's spec lacked "page_stats": true and
+// the cache holds no profiled result for the point, or it has not
+// resolved yet. Unlike traces, cache hits of previously profiled
+// points do carry their report: it is part of the stored Result.
+func (s *Server) handlePageStats(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	point := 0
+	if v := r.URL.Query().Get("point"); v != "" {
+		var err error
+		if point, err = strconv.Atoi(v); err != nil || point < 0 {
+			writeError(w, http.StatusBadRequest, "bad point %q: want a non-negative index", v)
+			return
+		}
+	}
+	rep := j.pointPageStats(point)
+	if rep == nil {
+		writeError(w, http.StatusNotFound, "job %s has no page stats for point %d (profiled jobs need \"page_stats\": true in the spec)", j.id, point)
+		return
+	}
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-point%d.pagestats.json", j.id, point)))
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // handleResults queries the content-addressed result cache. Filters

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/pagestats"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -216,6 +217,19 @@ func (j *Job) pointTrace(i int) *trace.Buffer {
 		return nil
 	}
 	return j.results[i].Trace
+}
+
+// pointPageStats returns the per-page sharing report recorded for point
+// i, or nil if the point is out of range, unresolved, or ran without
+// the spec's page_stats knob. Cache hits of previously profiled points
+// still carry their stored report.
+func (j *Job) pointPageStats(i int) *pagestats.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < 0 || i >= len(j.results) || j.results[i] == nil {
+		return nil
+	}
+	return j.results[i].Result.PageStats
 }
 
 // eventsSince returns a copy of the events after index from (0-based),

@@ -282,14 +282,17 @@ func TestDashboardServed(t *testing.T) {
 	}
 	html := string(body)
 	for _, want := range []string{
-		"hyperion-server",        // title
-		"/metrics",               // metrics poller
-		"/v1/sweeps",             // jobs poller
-		"EventSource",            // live SSE subscription
-		"hyperion_point_seconds", // latency histogram source
-		"hyperion_trace_dropped", // trace-drop tile
-		"hyperion_queue_depth",   // queue tile + sparkline
-		"prefers-color-scheme",   // dark mode is selected, not flipped
+		"hyperion-server",                  // title
+		"/metrics",                         // metrics poller
+		"/v1/sweeps",                       // jobs poller
+		"EventSource",                      // live SSE subscription
+		"hyperion_point_seconds",           // latency histogram source
+		"hyperion_trace_dropped",           // trace-drop tile
+		"hyperion_queue_depth",             // queue tile + sparkline
+		"hyperion_pagestats_pages_tracked", // profiler footprint tile
+		"/pagestats",                       // page-sharing panel source
+		"false_shared",                     // classification tiles
+		"prefers-color-scheme",             // dark mode is selected, not flipped
 	} {
 		if !strings.Contains(html, want) {
 			t.Errorf("dashboard missing %q", want)

@@ -44,6 +44,14 @@ type metrics struct {
 	// inside the exported trace files.
 	traceDropped stats.Counter
 
+	// pagestatsPages / pagestatsBytes accumulate the page-profiler
+	// footprint over every executed profiled point: how many distinct
+	// pages the sharing profilers tracked and how much memory their
+	// state cost. A sweep whose pagestats bytes dwarf its result payload
+	// is the signal to profile a narrower grid.
+	pagestatsPages stats.Counter
+	pagestatsBytes stats.Counter
+
 	latencyMu    sync.Mutex
 	pointLatency map[string]*stats.Histogram // by protocol
 }
@@ -112,6 +120,9 @@ func (m *metrics) render(queueDepth int, cache *sweep.Cache) string {
 	}
 
 	counter("hyperion_trace_dropped_events_total", "Protocol-trace events overwritten by full rings across all traced points (size rings with -trace-capacity).", m.traceDropped.Value())
+
+	gauge("hyperion_pagestats_pages_tracked", "Pages tracked by per-page sharing profilers across executed profiled points.", m.pagestatsPages.Value())
+	gauge("hyperion_pagestats_bytes", "Memory held by those profilers' per-page state.", m.pagestatsBytes.Value())
 
 	// Per-protocol latency histogram, protocols in sorted order for a
 	// stable exposition.

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/pagestats"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -75,6 +76,92 @@ func TestServerTraceEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("untraced job trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerPageStatsEndpoint covers the per-job sharing-report
+// download: a job submitted with "page_stats": true serves a
+// schema-valid report per point, error shapes mirror /trace, an
+// unprofiled job 404s, and the profiler footprint lands on /metrics.
+func TestServerPageStatsEndpoint(t *testing.T) {
+	s := newServer(t, Config{Workers: 2, NewApp: testApps})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts.URL, `{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_pf"],"nodes":[2],"page_stats":true}`)
+	waitTerminal(t, ts.URL, id)
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/pagestats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pagestats download: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, ".pagestats.json") {
+		t.Errorf("content-disposition %q", cd)
+	}
+	if err := pagestats.Validate(body); err != nil {
+		t.Fatalf("downloaded report invalid: %v", err)
+	}
+	var rep pagestats.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesTracked == 0 {
+		t.Error("profiled jacobi run tracked no pages")
+	}
+
+	for path, want := range map[string]int{
+		"/v1/sweeps/" + id + "/pagestats?point=99": http.StatusNotFound,
+		"/v1/sweeps/" + id + "/pagestats?point=x":  http.StatusBadRequest,
+		"/v1/sweeps/" + id + "/pagestats?point=-1": http.StatusBadRequest,
+		"/v1/sweeps/no-such-job/pagestats":         http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// The profiler footprint is on the scrape surface.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"hyperion_pagestats_pages_tracked " + strconv.Itoa(rep.PagesTracked),
+		"hyperion_pagestats_bytes " + strconv.FormatInt(rep.ProfilerBytes, 10),
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// A job whose spec does not opt in records nothing.
+	plain := submit(t, ts.URL, `{"apps":["jacobi"],"clusters":["sci"],"protocols":["java_ic"],"nodes":[2]}`)
+	waitTerminal(t, ts.URL, plain)
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + plain + "/pagestats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unprofiled job pagestats: status %d, want 404", resp.StatusCode)
 	}
 }
 

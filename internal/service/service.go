@@ -341,6 +341,7 @@ func (s *Server) runJob(j *Job) {
 			NewApp:        s.cfg.NewApp,
 			Cancel:        s.stop,
 			TraceCapacity: traceCap,
+			PageStats:     j.spec.PageStats,
 			OnStart: func(p sweep.Point) {
 				startedKeys[p.Key()] = true
 				s.metrics.pointsRunning.Add(1)
@@ -443,6 +444,10 @@ func (s *Server) recordPoint(j *Job, i int, pr sweep.PointResult, coalesced bool
 	// A full trace ring silently keeps only the newest window; surface
 	// the loss where operators look (metrics + the job's log stream)
 	// instead of only inside the exported file.
+	if ps := pr.Result.PageStats; ps != nil && status == "executed" {
+		s.metrics.pagestatsPages.Add(int64(ps.PagesTracked))
+		s.metrics.pagestatsBytes.Add(ps.ProfilerBytes)
+	}
 	if pr.Trace != nil {
 		if dropped := pr.Trace.Dropped(); dropped > 0 {
 			s.metrics.traceDropped.Add(dropped)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/harness"
+	"repro/internal/pagestats"
 	"repro/internal/trace"
 )
 
@@ -50,6 +51,13 @@ type Executor struct {
 	// perturbing virtual time, so the traced repeat measures the same as
 	// the others. Cache hits carry no trace (nothing re-executes).
 	TraceCapacity int
+	// PageStats, when true, attaches a fresh per-page sharing profiler
+	// to *every* executed repeat; the median-kept repeat's classified
+	// report rides out on Result.PageStats. Each repeat profiles its own
+	// run (repeats execute concurrently), and like tracing the profiler
+	// observes without perturbing virtual time. Cache hits keep whatever
+	// the cached result recorded.
+	PageStats bool
 	// Logger, when non-nil, receives per-point diagnostics: cache hits
 	// and completions at Debug, failures at Error. The per-point call
 	// sites guard attribute construction behind Logger.Enabled, so a
@@ -228,6 +236,9 @@ func (x *Executor) RunPoints(points []Point) (*Outcome, error) {
 			jcfg := cfg
 			if r == 0 {
 				jcfg.Tracer = pr.Trace
+			}
+			if x.PageStats {
+				jcfg.PageProfiler = pagestats.New()
 			}
 			jobs = append(jobs, harness.Job{MakeApp: mk, Config: jcfg})
 			refs = append(refs, job{point: i, rep: r})

@@ -129,6 +129,65 @@ func TestExecutorAttachesTrace(t *testing.T) {
 	}
 }
 
+// TestExecutorAttachesPageStats: with the PageStats knob set every
+// executed point carries a classified per-page report, profiling does
+// not perturb the measurement, and — because the knob is not part of
+// the experiment identity — an unprofiled executor over the same cache
+// serves the profiled results as hits, report included.
+func TestExecutorAttachesPageStats(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Apps: []string{"jacobi"}, Clusters: []string{"sci"},
+		Protocols: []string{"java_pf"}, Nodes: []int{2}, Repeats: 2,
+	}
+	out, err := (&Executor{Workers: 2, Cache: cache, NewApp: tinyApps, PageStats: true}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	pr := out.Points[0]
+	if pr.Result.PageStats == nil {
+		t.Fatal("executed point has no page-stats report")
+	}
+	if pr.Result.PageStats.PagesTracked == 0 || len(pr.Result.PageStats.Pages) == 0 {
+		t.Fatalf("empty report for a 2-node jacobi run: %+v", pr.Result.PageStats)
+	}
+
+	// Profiling must not perturb the measurement: identical Result apart
+	// from the report itself.
+	plain, err := (&Executor{Workers: 2, NewApp: tinyApps}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Points[0].Result.PageStats != nil {
+		t.Error("unprofiled executor attached a report")
+	}
+	stripped := pr.Result
+	stripped.PageStats = nil
+	if !reflect.DeepEqual(plain.Points[0].Result, stripped) {
+		t.Errorf("profiling changed the result:\nprofiled   %+v\nunprofiled %+v", stripped, plain.Points[0].Result)
+	}
+
+	// The knob never enters cache keys: an executor with PageStats off
+	// hits the cache and the stored report survives the disk round trip.
+	cached, err := (&Executor{Workers: 2, Cache: cache, NewApp: tinyApps}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.CacheHits != 1 || !cached.Points[0].Cached {
+		t.Fatalf("profiled point not served from cache: %+v", cached)
+	}
+	if !reflect.DeepEqual(cached.Points[0].Result.PageStats, pr.Result.PageStats) {
+		t.Errorf("report changed across the cache:\nstored %+v\nloaded %+v",
+			pr.Result.PageStats, cached.Points[0].Result.PageStats)
+	}
+}
+
 // TestCacheRoundTripPreservesRunStats is the byte-identity half of the
 // observability contract at the sweep layer: counters survive the disk
 // round trip exactly, and cache hits carry no trace.

@@ -52,6 +52,12 @@ type Spec struct {
 	// It is an observability knob, not part of the experiment identity:
 	// it does not appear in Point and never affects cache keys.
 	Trace bool `json:"trace,omitempty"`
+	// PageStats asks the runner to attach a per-page sharing profiler
+	// to every executed repeat; the median repeat's classified report
+	// rides in its Result. Like Trace, an observability knob: not part
+	// of Point, never in cache keys (profiling observes the run without
+	// changing virtual time, so results stay comparable either way).
+	PageStats bool `json:"page_stats,omitempty"`
 }
 
 // Override adjusts the cost model of a grid point relative to the

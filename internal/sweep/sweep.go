@@ -37,12 +37,21 @@ import (
 )
 
 // AppNames lists the five benchmarks in the paper's figure order.
+// jacobi-flat (the naive-layout false-sharing demonstrator) resolves
+// through NewApp but is deliberately absent here: it is a diagnostic,
+// not part of the paper's suite, and "all apps" sweeps must keep
+// regenerating exactly the paper's figures.
 func AppNames() []string { return []string{"pi", "jacobi", "barnes", "tsp", "asp"} }
 
 // NewApp builds a benchmark by name. paperScale selects the exact §4.1
 // problem sizes; otherwise proportionally scaled-down defaults are used.
 func NewApp(name string, paperScale bool) (apps.App, error) {
 	switch name {
+	case "jacobi-flat":
+		if paperScale {
+			return jacobi.FlatPaper(), nil
+		}
+		return jacobi.FlatDefault(), nil
 	case "pi":
 		if paperScale {
 			return pi.Paper(), nil

@@ -49,10 +49,32 @@ func (b *Buffer) WritePerfetto(w io.Writer) error {
 	return WritePerfetto(w, b.Events(), b.Dropped())
 }
 
+// WritePerfettoHot is WritePerfetto plus a per-node cumulative counter
+// track ("hot_page_<id>") for each page id in hot, fed from the fault
+// and fetch events already in the buffer. The page profiler's top-N
+// report supplies the hot set; the counter tracks show when in the
+// timeline each hot page took its traffic.
+func (b *Buffer) WritePerfettoHot(w io.Writer, hot []int64) error {
+	return WritePerfettoHot(w, b.Events(), b.Dropped(), hot)
+}
+
 // WritePerfetto renders time-sorted events as Chrome trace-event JSON.
 // dropped is surfaced in the trace's otherData so a truncated ring is
 // visible in the viewer.
 func WritePerfetto(w io.Writer, events []Event, dropped int64) error {
+	return writePerfetto(w, events, dropped, nil)
+}
+
+// WritePerfettoHot is the free-function form of Buffer.WritePerfettoHot.
+func WritePerfettoHot(w io.Writer, events []Event, dropped int64, hot []int64) error {
+	set := make(map[int64]bool, len(hot))
+	for _, p := range hot {
+		set[p] = true
+	}
+	return writePerfetto(w, events, dropped, set)
+}
+
+func writePerfetto(w io.Writer, events []Event, dropped int64, hotPages map[int64]bool) error {
 	ts := func(at vtime.Time) float64 { return vtime.Duration(at).Microseconds() }
 	tid := func(e Event) int64 {
 		if e.TID == ServiceTID {
@@ -115,6 +137,13 @@ func WritePerfetto(w io.Writer, events []Event, dropped int64) error {
 	nextFlow := int64(1)
 	zero := 0.0
 
+	// Per-node cumulative event counts for the hot-page counter tracks.
+	type hotKey struct {
+		node int
+		page int64
+	}
+	hotCount := map[hotKey]int64{}
+
 	for _, e := range events {
 		ce := chromeEvent{Name: e.Kind.String(), Ph: "i", Cat: "dsm", Ts: ts(e.At), Pid: e.Node, Tid: tid(e), S: "t"}
 		switch e.Kind {
@@ -172,6 +201,17 @@ func WritePerfetto(w io.Writer, events []Event, dropped int64) error {
 			out = append(out, chromeEvent{
 				Name: "cached_pages", Ph: "C", Ts: ts(e.At), Pid: e.Node,
 				Args: map[string]any{"pages": 0},
+			})
+		}
+
+		// Hot-page activity: cumulative fault+fetch count per node for
+		// the profiler-selected pages.
+		if (e.Kind == EvFault || e.Kind == EvFetch) && hotPages[e.Arg] {
+			k := hotKey{e.Node, e.Arg}
+			hotCount[k]++
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("hot_page_%d", e.Arg), Ph: "C", Ts: ts(e.At), Pid: e.Node,
+				Args: map[string]any{"events": hotCount[k]},
 			})
 		}
 	}

@@ -117,6 +117,49 @@ func TestWritePerfetto(t *testing.T) {
 	}
 }
 
+func TestWritePerfettoHotPageCounters(t *testing.T) {
+	b := NewBuffer(64)
+	us := func(n float64) vtime.Time { return vtime.Time(vtime.Micro(n)) }
+	b.Record(Event{At: us(1), Node: 1, TID: 1, Kind: EvFault, Arg: 7})
+	b.Record(Event{At: us(2), Node: 1, TID: 1, Kind: EvFetch, Arg: 7, Aux: 1})
+	b.Record(Event{At: us(3), Node: 2, TID: 2, Kind: EvFetch, Arg: 7, Aux: 1})
+	b.Record(Event{At: us(4), Node: 1, TID: 1, Kind: EvFetch, Arg: 9, Aux: 2}) // not hot
+
+	var buf bytes.Buffer
+	if err := b.WritePerfettoHot(&buf, []int64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("hot-page output fails the validator: %v", err)
+	}
+	events, _ := decodeTrace(t, buf.Bytes())
+	var counts []float64
+	for _, e := range events {
+		if e["name"] == "hot_page_7" {
+			if e["ph"] != "C" {
+				t.Fatalf("hot_page_7 ph = %v", e["ph"])
+			}
+			counts = append(counts, e["args"].(map[string]any)["events"].(float64))
+		}
+		if e["name"] == "hot_page_9" {
+			t.Error("counter track emitted for a page not in the hot set")
+		}
+	}
+	// Node 1 contributes a fault+fetch (1 then 2 cumulative), node 2 one
+	// fetch (1): three counter samples in time order.
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("hot_page_7 cumulative samples = %v", counts)
+	}
+	// Plain WritePerfetto stays hot-page-free.
+	buf.Reset()
+	if err := b.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "hot_page_") {
+		t.Error("WritePerfetto emitted hot-page tracks without a hot set")
+	}
+}
+
 func TestWritePerfettoUnmatchedApply(t *testing.T) {
 	// An apply whose flush was overwritten in the ring gets no arrow —
 	// the exporter must not emit a dangling flow finish.
