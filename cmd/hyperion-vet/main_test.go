@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The multichecker must register exactly the documented analyzer set,
+// in stable order: CI's gate, the README glossary, and the suppression
+// grammar all name these five.
+func TestRegisteredAnalyzers(t *testing.T) {
+	want := []string{"atomicfield", "detrange", "hotpathalloc", "lockguard", "nowallclock"}
+	suite := analyzers()
+	if len(suite) != len(want) {
+		t.Fatalf("registered %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// The three vet-driver invocation shapes must answer without loading
+// any packages: cmd/go probes tools with them before every build.
+func TestVetProtocolSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "hyperion-vet version") || !strings.Contains(out.String(), "buildID=") {
+		t.Errorf("-V=full output %q lacks the name/version/buildID shape cmd/go parses", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exited %d: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(strings.TrimSpace(out.String()), "[") {
+		t.Errorf("-flags output %q is not a JSON array", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("-version exited %d: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "hyperion-vet ") {
+		t.Errorf("-version output %q", out.String())
+	}
+}
+
+// No package patterns is a usage error, not a silent success.
+func TestUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args run exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "nowallclock") {
+		t.Errorf("usage output should list the analyzer glossary, got %q", errb.String())
+	}
+}

@@ -1,0 +1,135 @@
+// The //hyperion:allow suppression grammar.
+//
+//	//hyperion:allow(<analyzer>[,<analyzer>...]) <reason>
+//
+// placed on the flagged line, on the line directly above it, or in the
+// doc comment of the enclosing function declaration (suppressing the
+// named analyzers for the whole function). The reason is mandatory:
+// every suppression must say why the invariant does not apply, so a
+// `grep -rn hyperion:allow` audit of the tree reads as a list of
+// justified exceptions. A directive without a reason suppresses
+// nothing and is itself reported.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const allowPrefix = "//hyperion:allow("
+
+// allowDirective is one parsed suppression.
+type allowDirective struct {
+	analyzers []string
+	reason    string
+	pos       token.Pos
+	// funcRange, when valid, extends the suppression to a whole
+	// function body (directive found in a FuncDecl doc comment).
+	funcStart, funcEnd token.Pos
+}
+
+// allowIndex answers "is this diagnostic suppressed?" for one package.
+type allowIndex struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> analyzers allowed on that line and
+	// the next.
+	byLine map[string]map[int][]string
+	// ranges holds function-scoped suppressions.
+	ranges []allowDirective
+	// malformed collects directives with no reason.
+	malformed []token.Pos
+}
+
+// parseAllow parses one comment line, returning nil if it is not an
+// allow directive.
+func parseAllow(c *ast.Comment) *allowDirective {
+	text := c.Text
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil
+	}
+	rest := text[len(allowPrefix):]
+	close := strings.IndexByte(rest, ')')
+	if close < 0 {
+		return &allowDirective{pos: c.Pos()} // malformed: no analyzer list
+	}
+	d := &allowDirective{pos: c.Pos(), reason: strings.TrimSpace(rest[close+1:])}
+	for _, name := range strings.Split(rest[:close], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			d.analyzers = append(d.analyzers, name)
+		}
+	}
+	return d
+}
+
+// buildAllowIndex scans every comment in the package's files.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{fset: fset, byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		// Function-doc directives cover the whole declaration.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				d := parseAllow(c)
+				if d == nil {
+					continue
+				}
+				if len(d.analyzers) == 0 || d.reason == "" {
+					idx.malformed = append(idx.malformed, d.pos)
+					continue
+				}
+				d.funcStart, d.funcEnd = fd.Pos(), fd.End()
+				idx.ranges = append(idx.ranges, *d)
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d := parseAllow(c)
+				if d == nil {
+					continue
+				}
+				if len(d.analyzers) == 0 || d.reason == "" {
+					idx.malformed = append(idx.malformed, d.pos)
+					continue
+				}
+				p := fset.Position(c.Pos())
+				m := idx.byLine[p.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					idx.byLine[p.Filename] = m
+				}
+				m[p.Line] = append(m[p.Line], d.analyzers...)
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a diagnostic from analyzer at pos is
+// suppressed.
+func (idx *allowIndex) allowed(analyzer string, pos token.Pos) bool {
+	p := idx.fset.Position(pos)
+	if m := idx.byLine[p.Filename]; m != nil {
+		for _, line := range []int{p.Line, p.Line - 1} {
+			for _, name := range m[line] {
+				if name == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	for _, d := range idx.ranges {
+		if pos < d.funcStart || pos >= d.funcEnd {
+			continue
+		}
+		for _, name := range d.analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

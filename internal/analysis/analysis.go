@@ -1,0 +1,149 @@
+// Package analysis is a self-contained static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, shrunk to what the
+// hyperion-vet suite needs. It exists because this module deliberately
+// has no external dependencies: the five invariant checkers under
+// internal/analysis/* plug into this package exactly the way x/tools
+// analyzers plug into theirs (an Analyzer value with a Run(*Pass)
+// hook), so they could be ported to the real framework by changing one
+// import.
+//
+// The framework supplies what the checkers share:
+//
+//   - package loading with full type information, offline, via
+//     `go list -export` and the standard library's gc importer (load.go)
+//   - a driver that runs analyzers over loaded packages, filters
+//     test files, and applies //hyperion:allow suppressions (driver.go)
+//   - the `go vet -vettool` unit-checker protocol (unitchecker.go)
+//   - the //hyperion:allow(<analyzer>) <reason> suppression grammar
+//     (allow.go), which is deliberately explicit: a suppression without
+//     a reason is itself a finding.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named invariant checker. The shape mirrors
+// x/tools' analysis.Analyzer so the checkers read like standard vet
+// analyzers.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hyperion:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's one-paragraph documentation, shown by
+	// hyperion-vet -help.
+	Doc string
+
+	// Flags holds analyzer-specific flags, registered by the analyzer's
+	// package and exposed by the multichecker as -<name>.<flag>.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report. The returned value is unused (kept for x/tools
+	// shape-compatibility); errors abort the whole run.
+	Run func(pass *Pass) (any, error)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's canonical import path (e.g.
+	// "repro/internal/core"). Scope-gated analyzers match it against
+	// their configured package patterns.
+	Path string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Scope is a package-path filter used by analyzers that only apply to
+// designated packages (the "simulated world", the determinism-critical
+// emission paths). It is a flag.Value holding comma-separated path
+// patterns; a pattern matches a package path on whole path-segment
+// boundaries, so "internal/core" matches "repro/internal/core" and
+// "internal/core" but not "repro/internal/coreutils".
+type Scope struct {
+	patterns []string
+}
+
+// NewScope returns a scope over the given patterns.
+func NewScope(patterns ...string) Scope { return Scope{patterns: patterns} }
+
+// String implements flag.Value.
+func (s *Scope) String() string { return strings.Join(s.patterns, ",") }
+
+// Set implements flag.Value, replacing the pattern list.
+func (s *Scope) Set(v string) error {
+	s.patterns = nil
+	for _, p := range strings.Split(v, ",") {
+		p = strings.Trim(strings.TrimSpace(p), "/")
+		if p != "" {
+			s.patterns = append(s.patterns, p)
+		}
+	}
+	return nil
+}
+
+// Match reports whether the package path is inside the scope.
+func (s *Scope) Match(path string) bool {
+	for _, pat := range s.patterns {
+		if path == pat ||
+			strings.HasSuffix(path, "/"+pat) ||
+			strings.HasPrefix(path, pat+"/") ||
+			strings.Contains(path, "/"+pat+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncFor returns the innermost function declaration or literal
+// enclosing pos in file, or nil. Analyzers use it to scope findings and
+// sanctioning patterns to one function body.
+func FuncFor(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || n.End() <= pos {
+			// Still descend: *ast.File's Pos/End do not cover comments,
+			// and declaration order is not position order for nested
+			// literals. Cheap enough for our tree sizes.
+			if _, ok := n.(*ast.File); !ok {
+				return false
+			}
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			best = n
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,257 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: testdata/src/<pkgpath>/*.go is one fixture package whose
+// import path is <pkgpath>. Because scope-gated analyzers match on
+// package paths, fixtures prove gating by living at in-scope paths
+// (e.g. testdata/src/internal/core/...) next to out-of-scope siblings.
+//
+// Expectations: a comment of the form
+//
+//	// want "re" "re2"
+//
+// at the end of a line asserts that the analyzer reports exactly one
+// diagnostic per quoted pattern on that line, each matching its
+// regexp. Lines carrying a //hyperion:allow directive and no want
+// comment assert the suppression path: the analyzer must stay silent.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package and applies the analyzer, reporting
+// mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, path := range pkgpaths {
+		runOne(t, testdata, a, path)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture package %s: %v", pkgpath, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture package %s: no Go files in %s", pkgpath, dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: stdImporter(t, fset, files)}
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgpath, err)
+	}
+	pkg := &analysis.Package{Path: pkgpath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, pkgpath, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, f := range findings {
+		key := posKey{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w.used || !w.re.MatchString(f.Message) {
+				continue
+			}
+			wants[key][i].used = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	var keys []posKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]want {
+	t.Helper()
+	wants := map[posKey][]want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", p, pat, err)
+					}
+					key := posKey{p.Filename, p.Line}
+					wants[key] = append(wants[key], want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the quoted strings from a want clause. Both
+// double-quoted ("...", escapes interpreted) and backquoted (`...`,
+// raw — the natural form for regexps) patterns are accepted.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexAny(s, "\"`")
+		if i < 0 {
+			return out
+		}
+		s = s[i:]
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return out
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return out
+		}
+		out = append(out, unq)
+		s = s[len(q):]
+	}
+}
+
+// stdImporter builds an importer for the fixture's (transitive,
+// standard-library-only) imports from `go list -export` data, cached
+// per test process.
+func stdImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	var paths []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	lookup, err := exportDataFor(paths)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{} // import path -> export file
+)
+
+func exportDataFor(paths []string) (func(string) (io.ReadCloser, error), error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		pkgs, err := analysis.ListExports(missing)
+		if err != nil {
+			return nil, err
+		}
+		for p, f := range pkgs {
+			exportCache[p] = f
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		f, ok := exportCache[path]
+		if !ok {
+			// Transitive import of a dependency not listed directly:
+			// resolve on demand.
+			pkgs, err := analysis.ListExports([]string{path})
+			if err != nil {
+				exportMu.Unlock()
+				return nil, err
+			}
+			for p, ef := range pkgs {
+				exportCache[p] = ef
+			}
+			f, ok = exportCache[path]
+		}
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}, nil
+}

@@ -1,0 +1,51 @@
+// Fixture for atomicfield: a field touched via sync/atomic anywhere in
+// the package must be touched via sync/atomic everywhere — except
+// through private value copies, and except under an explicit
+// justification.
+package counters
+
+import "sync/atomic"
+
+// Stats is a counter block updated atomically by the hot path.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Server owns a shared Stats.
+type Server struct {
+	stats Stats
+}
+
+// Hit is the atomic access that marks Stats.Hits as an atomic field.
+func (s *Server) Hit() {
+	atomic.AddInt64(&s.stats.Hits, 1)
+}
+
+// BadRead reads the same field plainly through a pointer: a data race
+// against Hit.
+func (s *Server) BadRead() int64 {
+	return s.stats.Hits // want `plain access to field Hits`
+}
+
+// Snapshot builds a consistent copy with atomic loads.
+func (s *Server) Snapshot() Stats {
+	return Stats{Hits: atomic.LoadInt64(&s.stats.Hits)}
+}
+
+// SnapshotRead reads a private value copy: exempt, that is the whole
+// point of taking a snapshot.
+func SnapshotRead(s *Server) int64 {
+	snap := s.Snapshot()
+	return snap.Hits
+}
+
+// NewServer initializes the field plainly before the value is
+// published to any other goroutine: justified and suppressed.
+//
+//hyperion:allow(atomicfield) pre-publication initialization, single goroutine by construction
+func NewServer(hits int64) *Server {
+	srv := &Server{}
+	srv.stats.Hits = hits
+	return srv
+}

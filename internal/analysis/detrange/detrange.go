@@ -1,0 +1,261 @@
+// Package detrange flags `range` over a map whose body emits something
+// ordered — writes to a writer or encoder, fmt output, or appends to a
+// slice that is never subsequently sorted — in determinism-critical
+// packages. Go randomizes map iteration order per run, so any bytes,
+// rows, or report lines produced directly from a map range differ from
+// run to run: exactly the bug class the sorted-home flush fix in the
+// write-path rework repaired by hand, and the kind of regression that
+// silently breaks the bit-identical-results guarantee the sweep cache
+// and conformance suite rest on.
+//
+// The sanctioned idiom is untouched: collecting keys into a slice and
+// sorting it after the loop —
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// is recognized and not reported, because a sort call on the collected
+// slice follows the loop in the same function.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// scope lists the determinism-critical packages: the simulated world
+// plus every layer that renders results (CSV, JSON, metrics, traces,
+// reports) into files, caches, or HTTP responses.
+var scope = analysis.NewScope(
+	"internal/core",
+	"internal/vtime",
+	"internal/netsim",
+	"internal/pages",
+	"internal/pagestats",
+	"internal/jmm",
+	"internal/apps",
+	"internal/threads",
+	"internal/cluster",
+	"internal/model",
+	"internal/conformance",
+	"internal/trace",
+	"internal/sweep",
+	"internal/service",
+	"internal/resultstore",
+	"internal/harness",
+	"internal/stats",
+	"internal/plot",
+	"cmd",
+)
+
+// Analyzer is the detrange checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag map iteration that emits ordered output (writes, fmt, unsorted appends) " +
+		"in determinism-critical packages",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.Var(&scope, "scope", "comma-separated package-path patterns the check applies to")
+}
+
+// emitWriters are method names whose call inside a map range means
+// order-dependent bytes left the loop.
+var emitWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true, "WriteField": true,
+}
+
+// fmtEmitters are fmt functions that emit directly (Sprint* is pure
+// and fine: its result may still be collected and sorted).
+var fmtEmitters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// sorters maps qualified function names to the argument index of the
+// slice they sort.
+var sorters = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Sort": true, "sort.Stable": true, "sort.Slice": true,
+	"sort.SliceStable": true,
+	"slices.Sort":      true, "slices.SortFunc": true,
+	"slices.SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.Match(pass.Path) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, file, rng)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkMapRange(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) {
+	fn := analysis.FuncFor(file, rng.Pos())
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is checked by its own invocation;
+			// descending here would double-report its emissions. Inner
+			// ranges over slices still belong to this check.
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.AssignStmt:
+			checkAppend(pass, file, fn, rng, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags direct emissions: fmt printing and writer/encoder
+// method calls.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" && fmtEmitters[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside a map range: map iteration order is randomized, so emitted output differs run to run (sort the keys first)",
+				fn.Name())
+			return
+		}
+		// Method call named like a writer/encoder primitive.
+		if fn.Type() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && emitWriters[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"%s.%s inside a map range: map iteration order is randomized, so written bytes differ run to run (sort the keys first)",
+					types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg)), fn.Name())
+			}
+		}
+	}
+}
+
+// checkAppend flags `x = append(x, ...)` where x is declared outside
+// the range body and no sort call on x follows the loop in the same
+// function.
+func checkAppend(pass *analysis.Pass, file *ast.File, fn ast.Node, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		target := rootVar(pass, as.Lhs[i])
+		if target == nil {
+			continue
+		}
+		// Appends to a variable created inside the loop body are
+		// per-iteration state, not cross-iteration accumulation.
+		if target.Pos() >= rng.Body.Pos() && target.Pos() < rng.Body.End() {
+			continue
+		}
+		if sortedAfter(pass, fn, rng, target) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"append to %q inside a map range without a later sort: element order is randomized per run (sort %q after the loop, or range over sorted keys)",
+			target.Name(), target.Name())
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootVar resolves an assignable expression to its base variable.
+func rootVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = pass.TypesInfo.Defs[x].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			v, _ := pass.TypesInfo.Uses[x.Sel].(*types.Var)
+			return v
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether a sort call whose argument is rooted at
+// target appears after the range statement within fn.
+func sortedAfter(pass *analysis.Pass, fn ast.Node, rng *ast.RangeStmt, target *types.Var) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		if !sorters[obj.Pkg().Path()+"."+obj.Name()] || len(call.Args) == 0 {
+			return true
+		}
+		if rootVar(pass, call.Args[0]) == target {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrange"
+)
+
+func TestDetRange(t *testing.T) {
+	// internal/sweep proves the true positives, the sanctioned
+	// collect-then-sort idiom, and the suppression; tools/gen proves
+	// the scope gate.
+	analysistest.Run(t, "testdata", detrange.Analyzer, "internal/sweep", "tools/gen")
+}

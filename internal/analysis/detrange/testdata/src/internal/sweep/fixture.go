@@ -1,0 +1,65 @@
+// Fixture: internal/sweep is inside detrange's scope, so ordered
+// output produced directly from a map range must be reported, and the
+// collect-then-sort idiom and suppressed forms must not.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EmitUnsorted prints rows straight out of a map range: output order
+// changes run to run.
+func EmitUnsorted(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println inside a map range`
+	}
+}
+
+// AppendUnsorted accumulates keys but never sorts them.
+func AppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map range without a later sort`
+	}
+	return keys
+}
+
+// AppendSortedOK is the sanctioned idiom: collect, then sort after the
+// loop in the same function.
+func AppendSortedOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteInRange ships bytes to a writer from inside the range.
+func WriteInRange(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `WriteString inside a map range`
+	}
+}
+
+// PerIterationOK appends to a slice created inside the loop body:
+// per-iteration state, not cross-iteration accumulation.
+func PerIterationOK(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// AllowedEmit proves the suppression path.
+func AllowedEmit(m map[string]int) {
+	for k := range m {
+		//hyperion:allow(detrange) fixture: debug output, order independence acceptable here
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,13 @@
+// Fixture: tools/gen is outside detrange's scope. The same emission
+// pattern produces no diagnostics here.
+package gen
+
+import "fmt"
+
+// Dump prints a map without sorting — fine outside the
+// determinism-critical packages.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,85 @@
+// The driver: run analyzers over loaded packages, apply suppressions,
+// and render findings. Shared by the standalone hyperion-vet
+// multichecker, the `go vet -vettool` unit-checker mode, and the
+// analysistest fixture harness, so all three agree on what is and is
+// not reported.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one post-filter diagnostic with a resolved position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package, filters
+// diagnostics in _test.go files (the invariants guard production code;
+// tests legitimately read counters plainly, measure host time, and
+// print unsorted debug output) and //hyperion:allow-suppressed lines,
+// and returns the surviving findings sorted by position. Malformed
+// allow directives (no reason) are reported as findings of the
+// pseudo-analyzer "allow".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		idx := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, pos := range idx.malformed {
+			findings = append(findings, Finding{
+				Analyzer: "allow",
+				Pos:      pkg.Fset.Position(pos),
+				Message:  "malformed //hyperion:allow directive: want //hyperion:allow(<analyzer>) <reason>; suppresses nothing",
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Path:      pkg.Path,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			var diags []Diagnostic
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				posn := pkg.Fset.Position(d.Pos)
+				if strings.HasSuffix(posn.Filename, "_test.go") {
+					continue
+				}
+				if idx.allowed(a.Name, d.Pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseFiles(t *testing.T, names []string, srcs []string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for i, src := range srcs {
+		f, err := parser.ParseFile(fset, names[i], src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", names[i], err)
+		}
+		files = append(files, f)
+	}
+	return fset, files
+}
+
+// A directive without a reason must suppress nothing and be reported
+// itself: the audit trail only works if every exception says why.
+func TestMalformedAllowReported(t *testing.T) {
+	fset, files := parseFiles(t,
+		[]string{"a.go"},
+		[]string{"package p\n\n//hyperion:allow(lockguard)\nvar X int\n"})
+	pkg := &Package{Path: "p", Fset: fset, Files: files}
+	findings, err := RunAnalyzers([]*Package{pkg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one malformed-allow report", findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "allow" || !strings.Contains(f.Message, "malformed") {
+		t.Errorf("finding = %+v, want pseudo-analyzer \"allow\" with a malformed message", f)
+	}
+	if f.Pos.Line != 3 {
+		t.Errorf("reported at line %d, want 3 (the directive)", f.Pos.Line)
+	}
+}
+
+// Diagnostics in _test.go files are dropped: the invariants guard
+// production code, while tests legitimately read counters plainly and
+// print unsorted debug output.
+func TestTestFileDiagnosticsFiltered(t *testing.T) {
+	fset, files := parseFiles(t,
+		[]string{"a.go", "a_test.go"},
+		[]string{"package p\nvar A int\n", "package p\nvar B int\n"})
+	pkg := &Package{Path: "p", Fset: fset, Files: files}
+	flagEveryVar := &Analyzer{
+		Name: "everyvar",
+		Doc:  "test analyzer: flags every var declaration",
+		Run: func(pass *Pass) (any, error) {
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					if vs, ok := n.(*ast.ValueSpec); ok {
+						pass.Reportf(vs.Pos(), "var declared")
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{flagEveryVar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Pos.Filename != "a.go" {
+		t.Fatalf("findings = %v, want exactly one, in a.go only", findings)
+	}
+}
+
+func TestScopeMatch(t *testing.T) {
+	s := NewScope("internal/core", "cmd")
+	for path, want := range map[string]bool{
+		"repro/internal/core":     true,
+		"repro/internal/core/sub": true,
+		"repro/internal/coreutil": false, // segment boundary, not prefix
+		"repro/cmd/hyperion-run":  true,
+		"repro/internal/sweep":    false,
+		"internal/core":           true,
+	} {
+		if got := s.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package hotpathalloc statically checks functions annotated
+// //hyperion:hotpath for allocation sources: heap-bound composite
+// literals, make/new, variable-capturing closures, interface boxing,
+// fmt calls, runtime string concatenation, and string<->[]byte
+// conversions. It is the static complement of the testing.AllocsPerRun
+// gates: those prove one exercised path allocates nothing, this keeps
+// every branch of an annotated function honest between benchmark runs.
+//
+// The annotation goes in the function's doc comment:
+//
+//	// Record logs a write.
+//	//hyperion:hotpath
+//	func (w *WriteLog) Record(...)
+//
+// Not every allocation the runtime might perform is modeled (append
+// growth and map inserts are allowed: amortized, steady-state free);
+// the checker aims at the construct classes that put an allocation on
+// every call.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Directive is the annotation that opts a function into the check.
+const Directive = "//hyperion:hotpath"
+
+// Analyzer is the hotpathalloc checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag per-call allocation sources in functions annotated //hyperion:hotpath",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path: &composite literal escapes to the heap on every call")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "hot path: slice/map literal allocates on every call")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.FuncLit:
+			if capt := captured(pass, fd, n); capt != "" {
+				pass.Reportf(n.Pos(), "hot path: closure captures %s and allocates on every call", capt)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isRuntimeString(info, n) {
+				pass.Reportf(n.Pos(), "hot path: string concatenation allocates on every call")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(info, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "hot path: string += allocates on every call")
+			}
+			checkAssignBoxing(pass, n)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins and conversions.
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path: make allocates on every call")
+			case "new":
+				pass.Reportf(call.Pos(), "hot path: new allocates on every call")
+			}
+			return
+		}
+	}
+	if len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			// A conversion: string([]byte) and []byte(string) copy.
+			to, from := tv.Type.Underlying(), types.Type(nil)
+			if atv, ok := info.Types[call.Args[0]]; ok {
+				from = atv.Type
+			}
+			if from != nil && isStringBytesConv(to, from.Underlying()) {
+				pass.Reportf(call.Pos(), "hot path: string<->[]byte conversion copies and allocates on every call")
+			}
+			return
+		}
+	}
+	// fmt.* calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hot path: fmt.%s allocates (formatting state and boxed arguments) on every call", fn.Name())
+			return
+		}
+	}
+	// Interface boxing at call arguments.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing a slice through ... does not box
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := param.Underlying().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		reportBoxing(pass, arg, param, "argument")
+	}
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func checkAssignBoxing(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		if tv, ok := pass.TypesInfo.Types[as.Lhs[i]]; ok {
+			reportBoxing(pass, as.Rhs[i], tv.Type, "assignment")
+		}
+	}
+}
+
+func checkReturnBoxing(pass *analysis.Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		reportBoxing(pass, r, sig.Results().At(i).Type(), "return")
+	}
+}
+
+// reportBoxing flags a concrete, non-pointer-shaped value converted to
+// an interface type: that conversion heap-allocates the value's copy.
+func reportBoxing(pass *analysis.Pass, expr ast.Expr, target types.Type, what string) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if tv.IsNil() {
+		return
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return // interface-to-interface: no new allocation
+	}
+	if isPointerShaped(src.Underlying()) {
+		return // the word fits in the iface data slot
+	}
+	if tv.Value != nil && isSmallIntConstant(src) {
+		return // the runtime interns small integer values
+	}
+	pass.Reportf(expr.Pos(),
+		"hot path: %s boxes %s into %s and allocates on every call",
+		what, types.TypeString(src, types.RelativeTo(pass.Pkg)), types.TypeString(target, types.RelativeTo(pass.Pkg)))
+}
+
+func isPointerShaped(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isSmallIntConstant approximates the runtime's small-value interning:
+// constant integers are assumed not to allocate when boxed. (Strictly
+// only 0..255 are interned; constants above that are rare enough on
+// annotated paths that the coarser rule keeps the checker quiet.)
+func isSmallIntConstant(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isRuntimeString(info *types.Info, e *ast.BinaryExpr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil { // constant-folded at compile time
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringBytesConv(to, from types.Type) bool {
+	return (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// captured returns a description of the first outer variable a func
+// literal captures, or "" when the literal is capture-free (static
+// closures do not allocate).
+func captured(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			found = "\"" + v.Name() + "\""
+			return false
+		}
+		return true
+	})
+	return found
+}

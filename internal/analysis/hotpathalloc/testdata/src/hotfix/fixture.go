@@ -1,0 +1,78 @@
+// Fixture for hotpathalloc: only functions annotated
+// //hyperion:hotpath are checked; every per-call allocation class in an
+// annotated body must be reported, and unannotated or suppressed code
+// must not.
+package hotfix
+
+import "fmt"
+
+// Rec is a value record; appending it to a slice does not box.
+type Rec struct{ A, B int64 }
+
+// Sink accumulates records.
+type Sink struct {
+	recs []Rec
+	n    int64
+}
+
+// Add is annotated and clean: struct append (amortized growth is
+// allowed) and integer arithmetic only.
+//
+//hyperion:hotpath
+func (s *Sink) Add(r Rec) {
+	s.recs = append(s.recs, r)
+	s.n++
+}
+
+// Bad is annotated and allocates in several distinct ways.
+//
+//hyperion:hotpath
+func (s *Sink) Bad(name string, v int64) *Rec {
+	scratch := make([]Rec, 4) // want `make allocates on every call`
+	fmt.Println(name)         // want `fmt\.Println allocates`
+	msg := name + "!"         // want `string concatenation allocates on every call`
+	_ = msg
+	_ = scratch
+	return &Rec{A: v} // want `&composite literal escapes to the heap`
+}
+
+// Box is annotated; assigning a concrete int64 into an interface
+// variable boxes it.
+//
+//hyperion:hotpath
+func Box(v int64) any {
+	var out any
+	out = v // want `boxes int64 into`
+	return out
+}
+
+// Capture is annotated; the literal captures a local and therefore
+// allocates a closure cell.
+//
+//hyperion:hotpath
+func Capture() int64 {
+	total := int64(0)
+	bump := func() { total++ } // want `closure captures "total"`
+	bump()
+	return total
+}
+
+// Convert is annotated; string<->[]byte conversions copy.
+//
+//hyperion:hotpath
+func Convert(b []byte) string {
+	return string(b) // want `string<->\[\]byte conversion copies`
+}
+
+// Cold is NOT annotated: the same constructs produce no diagnostics.
+func Cold(name string) string {
+	return fmt.Sprintf("cold %s", name)
+}
+
+// WarmStart proves the suppression path: a deliberate one-time
+// allocation inside an annotated function.
+//
+//hyperion:hotpath
+func WarmStart(s *Sink) {
+	s.recs = make([]Rec, 0, 64) //hyperion:allow(hotpathalloc) one-time warm-up allocation, amortized across the run
+}

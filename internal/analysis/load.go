@@ -1,0 +1,193 @@
+// Offline package loading. The loader shells out to `go list -export`,
+// which compiles (or reuses from the build cache) export data for every
+// dependency, then parses the target packages' sources and type-checks
+// them with the standard library's gc importer reading that export
+// data. No network, no GOPATH source layout, no third-party loader.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // canonical import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` for patterns in dir and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,ImportMap,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export-data files, applying the
+// import-path remappings go list reported (vendoring, test variants).
+type exportLookup struct {
+	files     map[string]string // canonical path -> export file
+	importMap map[string]string // path as written -> canonical path
+}
+
+func newExportLookup(pkgs []*listPackage) *exportLookup {
+	l := &exportLookup{files: map[string]string{}, importMap: map[string]string{}}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.files[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			l.importMap[from] = to
+		}
+	}
+	return l
+}
+
+func (l *exportLookup) open(path string) (io.ReadCloser, error) {
+	if mapped, ok := l.importMap[path]; ok {
+		path = mapped
+	}
+	f, ok := l.files[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// newInfo returns a types.Info with every map analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// typeCheck parses and checks one package's files against the lookup.
+func typeCheck(fset *token.FileSet, path, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		name := gf
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, gf)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ListExports maps the given import paths (plus their transitive
+// dependencies) to export-data files, compiling them into the build
+// cache as needed. The analysistest harness uses it to type-check
+// fixture packages against the standard library.
+func ListExports(paths []string) (map[string]string, error) {
+	listed, err := goList(".", paths)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// Load loads and type-checks the packages matching patterns, resolved
+// relative to dir (the module being vetted). Dependencies are consumed
+// as compiled export data; only the matched packages are parsed.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	lookup := newExportLookup(listed)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup.open)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, lp.ImportPath, lp.Dir, lp.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}

@@ -1,0 +1,285 @@
+// Package lockguard enforces `// guarded by <mu>` field annotations:
+// within the declaring package, an annotated field may only be touched
+// while the named sibling mutex is held. The analysis is lexical and
+// per-function — a conservative approximation of real lock-set
+// analysis — with three sanctioned shapes:
+//
+//   - the access follows a `<base>.<mu>.Lock()` (or RLock) on the same
+//     base expression in the same function, with no intervening
+//     non-deferred Unlock;
+//   - the enclosing function's name ends in "Locked", the repo's
+//     convention for helpers whose contract is "caller holds the
+//     lock" (e.g. bytesLocked);
+//   - the access is rooted at a variable declared in the same function
+//     body: a freshly constructed object has not been shared yet.
+//
+// Anything else — including patterns the lexical analysis cannot see,
+// like locks taken by a caller two frames up without the naming
+// convention — must either adopt the convention or carry an explicit
+// //hyperion:allow(lockguard) justification.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockguard checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "enforce that fields annotated `// guarded by <mu>` are only accessed with that mutex held",
+	Run:  run,
+}
+
+// guardRE matches a guard directive: "guarded by <mu>" closing a
+// comment line, optionally parenthesized — `// guarded by mu` or
+// `// wait set (guarded by mu)`. Anchoring to the end of the line
+// keeps prose like "allocation is guarded by X, so ..." from being
+// read as an annotation.
+var guardRE = regexp.MustCompile(`(?:^|\()guarded by ([A-Za-z_][A-Za-z0-9_.]*)(?:\)|\.)?$`)
+
+// guardedField records one annotation.
+type guardedField struct {
+	guard string // sibling mutex field name
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, f, fd, guards)
+			return false
+		})
+	}
+	return nil, nil
+}
+
+// collectGuards finds annotated fields in the package's struct types
+// and validates that each guard names a sibling field.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guardedField {
+	guards := map[*types.Var]guardedField{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			names := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					names[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				guard := guardAnnotation(fld)
+				if guard == "" {
+					continue
+				}
+				if i := strings.LastIndexByte(guard, '.'); i >= 0 {
+					guard = guard[i+1:]
+				}
+				if !names[guard] {
+					pass.Reportf(fld.Pos(),
+						"`guarded by %s` names no sibling field in this struct: the annotation protects nothing", guard)
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guardedField{guard: guard}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the guard name from a field's doc or line
+// comment.
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, line := range strings.Split(cg.Text(), "\n") {
+			if m := guardRE.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// lockEvent is one Lock/Unlock call on a guard within a function.
+type lockEvent struct {
+	base     string // rendered base expression, e.g. "s" or "j.server"
+	guard    string // mutex field name
+	pos      token.Pos
+	unlock   bool
+	deferred bool
+}
+
+func checkFunc(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, guards map[*types.Var]guardedField) {
+	events := collectLockEvents(fd)
+	lockedName := strings.HasSuffix(fd.Name.Name, "Locked")
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return true
+		}
+		gf, ok := guards[v]
+		if !ok {
+			return true
+		}
+		if lockedName {
+			return true
+		}
+		if locallyConstructed(pass, fd, sel) {
+			return true
+		}
+		base := exprString(sel.X)
+		if heldAt(events, base, gf.guard, sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is guarded by %s but accessed without %s.%s held (lock it, rename the helper to *Locked, or justify with //hyperion:allow(lockguard))",
+			v.Name(), gf.guard, base, gf.guard)
+		return true
+	})
+}
+
+// collectLockEvents finds Lock/RLock/Unlock/RUnlock calls on struct
+// fields within the function.
+func collectLockEvents(fd *ast.FuncDecl) []lockEvent {
+	var events []lockEvent
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call != nil {
+			deferredCalls[d.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var unlock bool
+		switch method.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			unlock = false
+		case "Unlock", "RUnlock":
+			unlock = true
+		default:
+			return true
+		}
+		guardSel, ok := method.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		events = append(events, lockEvent{
+			base:     exprString(guardSel.X),
+			guard:    guardSel.Sel.Name,
+			pos:      call.Pos(),
+			unlock:   unlock,
+			deferred: deferredCalls[call],
+		})
+		return true
+	})
+	return events
+}
+
+// heldAt reports whether, lexically, base.guard is locked at pos: some
+// preceding Lock with no non-deferred Unlock in between.
+func heldAt(events []lockEvent, base, guard string, pos token.Pos) bool {
+	var lastLock token.Pos = token.NoPos
+	for _, e := range events {
+		if e.base != base || e.guard != guard || e.pos >= pos {
+			continue
+		}
+		if e.unlock {
+			if !e.deferred && e.pos > lastLock {
+				lastLock = token.NoPos
+			}
+			continue
+		}
+		if lastLock == token.NoPos || e.pos > lastLock {
+			lastLock = e.pos
+		}
+	}
+	return lastLock != token.NoPos
+}
+
+// locallyConstructed reports whether the access is rooted at a
+// variable declared inside this function's body (not a parameter or
+// receiver): an object still private to its constructor.
+func locallyConstructed(pass *analysis.Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	e := sel.X
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[x].(*types.Var)
+			if !ok || v.IsField() {
+				return false
+			}
+			return v.Pos() >= fd.Body.Pos() && v.Pos() < fd.Body.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// exprString renders the expression chains lockguard compares (idents,
+// selectors, indexes); anything richer renders as "?", which simply
+// never matches.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	default:
+		return "?"
+	}
+}

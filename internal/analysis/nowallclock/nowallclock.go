@@ -1,0 +1,147 @@
+// Package nowallclock forbids host nondeterminism — wall-clock reads,
+// the process-global math/rand source, host entropy, and process/host
+// identity — inside the simulated world. Every run of a given
+// configuration must produce bit-identical results regardless of when,
+// where, and in which process it executes, because run results are
+// cached cluster-wide under content-addressed keys; one time.Now()
+// in a cost path silently poisons every cache. Virtual time lives in
+// internal/vtime, and only it may advance clocks.
+//
+// Seeded randomness (rand.New(rand.NewSource(seed))) is allowed: it is
+// deterministic by construction and is how the benchmark apps build
+// their inputs.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// scope lists the simulated-world packages. Override with
+// -nowallclock.scope when embedding the suite elsewhere.
+var scope = analysis.NewScope(
+	"internal/core",
+	"internal/vtime",
+	"internal/netsim",
+	"internal/pages",
+	"internal/pagestats",
+	"internal/jmm",
+	"internal/apps",
+	"internal/threads",
+	"internal/cluster",
+	"internal/model",
+	"internal/conformance",
+)
+
+// forbidden maps fully-qualified function and variable names to the
+// reason they are banned.
+var forbidden = map[string]string{
+	// Wall-clock reads and host-timer scheduling.
+	"time.Now":       "reads the host wall clock",
+	"time.Since":     "reads the host wall clock",
+	"time.Until":     "reads the host wall clock",
+	"time.After":     "schedules on the host clock",
+	"time.Tick":      "schedules on the host clock",
+	"time.Sleep":     "blocks on the host clock",
+	"time.NewTimer":  "schedules on the host clock",
+	"time.NewTicker": "schedules on the host clock",
+	"time.AfterFunc": "schedules on the host clock",
+
+	// Host entropy.
+	"crypto/rand.Read":   "draws host entropy",
+	"crypto/rand.Int":    "draws host entropy",
+	"crypto/rand.Prime":  "draws host entropy",
+	"crypto/rand.Text":   "draws host entropy",
+	"crypto/rand.Reader": "draws host entropy",
+
+	// Process and host identity.
+	"os.Getpid":        "reads process identity",
+	"os.Getppid":       "reads process identity",
+	"os.Getuid":        "reads process identity",
+	"os.Geteuid":       "reads process identity",
+	"os.Getgid":        "reads process identity",
+	"os.Getegid":       "reads process identity",
+	"os.Hostname":      "reads host identity",
+	"os.Environ":       "reads the host environment",
+	"os.Getenv":        "reads the host environment",
+	"os.LookupEnv":     "reads the host environment",
+	"os.Getwd":         "reads host state",
+	"os.UserHomeDir":   "reads host state",
+	"os.UserCacheDir":  "reads host state",
+	"os.UserConfigDir": "reads host state",
+	"os.TempDir":       "reads host state",
+
+	// Host parallelism leaking into simulated results.
+	"runtime.NumCPU":     "reads host parallelism",
+	"runtime.GOMAXPROCS": "reads host parallelism",
+}
+
+// randAllowed lists the deterministic constructors exempt from the
+// blanket math/rand ban.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer is the nowallclock checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid wall-clock, host randomness, and process identity in the simulated world; " +
+		"only internal/vtime may advance clocks",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.Var(&scope, "scope", "comma-separated package-path patterns the check applies to")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.Match(pass.Path) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		// Checking identifier uses (rather than selector expressions)
+		// catches dot-imported names too, and each call site reports
+		// exactly once: the selector's Sel is itself an identifier.
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.(type) {
+			case *types.Func, *types.Var:
+			default:
+				return true
+			}
+			// Only package-level names are banned; methods like
+			// (*rand.Rand).Intn on an explicitly seeded source are the
+			// sanctioned alternative.
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			pkgPath := obj.Pkg().Path()
+			full := pkgPath + "." + obj.Name()
+			if why, bad := forbidden[full]; bad {
+				pass.Reportf(id.Pos(),
+					"%s %s: host nondeterminism in the simulated world (only internal/vtime may advance clocks)",
+					full, why)
+				return true
+			}
+			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randAllowed[obj.Name()] {
+				if _, isFunc := obj.(*types.Func); isFunc {
+					pass.Reportf(id.Pos(),
+						"%s uses the process-global random source: host nondeterminism in the simulated world (seed an explicit rand.New(rand.NewSource(...)))",
+						full)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

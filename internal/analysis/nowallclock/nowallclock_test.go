@@ -1,0 +1,14 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	// internal/core proves the true positives and the suppression;
+	// tools/hostinfo proves the scope gate (same calls, no findings).
+	analysistest.Run(t, "testdata", nowallclock.Analyzer, "internal/core", "tools/hostinfo")
+}

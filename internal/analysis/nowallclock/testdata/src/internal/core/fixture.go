@@ -1,0 +1,33 @@
+// Fixture: internal/core is inside nowallclock's default scope, so
+// every host-nondeterminism source here must be reported, and the
+// seeded/suppressed forms must not.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// HostCost mixes host state into a "cost": the exact bug class the
+// analyzer exists to stop.
+func HostCost() int64 {
+	t := time.Now()    // want `time\.Now reads the host wall clock`
+	n := rand.Intn(10) // want `math/rand\.Intn uses the process-global random source`
+	pid := os.Getpid() // want `os\.Getpid reads process identity`
+	return t.UnixNano() + int64(n) + int64(pid)
+}
+
+// SeededOK uses the sanctioned deterministic source: rand.New and
+// rand.NewSource are exempt, and methods on the seeded *rand.Rand are
+// not package-level names.
+func SeededOK() int64 {
+	r := rand.New(rand.NewSource(42))
+	return int64(r.Intn(10))
+}
+
+// AllowedException proves the suppression path: the directive names
+// the analyzer and carries a reason, so the line stays silent.
+func AllowedException() time.Time {
+	return time.Now() //hyperion:allow(nowallclock) fixture: proves the suppression path
+}

@@ -1,0 +1,15 @@
+// Fixture: tools/hostinfo is outside nowallclock's scope — the host
+// side (CLIs, the harness) may read the wall clock freely. No
+// diagnostics expected anywhere in this package.
+package hostinfo
+
+import (
+	"os"
+	"time"
+)
+
+// Now reads the host clock, legitimately.
+func Now() time.Time { return time.Now() }
+
+// PID reads process identity, legitimately.
+func PID() int { return os.Getpid() }

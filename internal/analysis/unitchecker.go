@@ -1,0 +1,125 @@
+// The `go vet -vettool` protocol, mirroring x/tools'
+// unitchecker. The go command drives a vet tool in three ways:
+//
+//	tool -V=full        print a line whose content identifies the
+//	                    exact tool build (cache key for vet results)
+//	tool -flags         print the tool's flags as JSON
+//	tool [flags] x.cfg  analyze one package described by the JSON
+//	                    config the go command wrote; diagnostics go
+//	                    to stderr and a nonzero exit marks failure
+//
+// See cmd/go/internal/work.(*Builder).vet and vetConfig. The config
+// hands us the package's sources plus export-data files for every
+// dependency, so unit-checking needs no `go list` round trip.
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors cmd/go's vetConfig (the x.cfg JSON schema).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements -V=full. The go command requires the second
+// field to be "version" and, for non-release versions, a trailing
+// buildID=; hashing our own executable makes the vet-result cache key
+// change whenever the tool is rebuilt.
+func PrintVersion(w io.Writer, progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// PrintFlags implements -flags: the JSON flag inventory the go command
+// reads to learn which command-line flags it may forward to the tool.
+// The suite's analyzer flags are intentionally not forwarded through
+// go vet (set them when running hyperion-vet standalone); an empty
+// inventory is valid.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// RunUnitChecker analyzes the single package described by cfgFile and
+// returns the process exit code: 0 clean, 2 findings or failure,
+// matching the standard vet tool's convention.
+func RunUnitChecker(cfgFile string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "hyperion-vet: reading config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "hyperion-vet: parsing config %s: %v\n", cfgFile, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		// Facts are not used by this suite (every analyzer is
+		// package-local); write the marker file so the go command can
+		// cache the result.
+		if err := os.WriteFile(cfg.VetxOutput, []byte("hyperion-vet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(stderr, "hyperion-vet: writing vetx output: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	lookup := &exportLookup{files: cfg.PackageFile, importMap: cfg.ImportMap}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup.open)
+	pkg, err := typeCheck(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "hyperion-vet: %v\n", err)
+		return 2
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "hyperion-vet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// IsVetConfig reports whether arg names a go vet package config file.
+func IsVetConfig(arg string) bool { return strings.HasSuffix(arg, ".cfg") }

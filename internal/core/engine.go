@@ -50,7 +50,7 @@ type nodeMem struct {
 
 	// fifo orders cached pages by arrival for capacity eviction.
 	fifoMu sync.Mutex
-	fifo   []pages.PageID
+	fifo   []pages.PageID // guarded by fifoMu
 }
 
 // Engine is the memory subsystem of one simulated Hyperion run.
@@ -108,6 +108,8 @@ func (e *Engine) PageProfiler() *pagestats.Profiler { return e.prof }
 
 // traceEvent records an event when tracing is enabled. With no tracer
 // attached this is one nil check and no allocations.
+//
+//hyperion:hotpath
 func (e *Engine) traceEvent(at vtime.Time, node int, tid int64, kind trace.Kind, arg, aux int64) {
 	if e.tracer != nil {
 		e.tracer.Record(trace.Event{At: at, Node: node, TID: tid, Kind: kind, Arg: arg, Aux: aux})
@@ -439,6 +441,8 @@ func (e *Engine) handleApplyDiff(call *cluster.Call) []byte {
 // protocols (java_pf, java_up, java_hlrc): mapped pages resolve for
 // free; a miss traps (fault cost), fetches the page from home, and pays
 // one mprotect call to map it READ/WRITE.
+//
+//hyperion:hotpath
 func (e *Engine) pageFaultAccess(ctx *Ctx, pg pages.PageID, isHome bool) *pages.Frame {
 	if isHome {
 		return e.homeFrame(pg)

@@ -47,21 +47,26 @@ type NodeStats struct {
 	MprotectCalls int64 `json:"mprotect_calls"`
 }
 
-// add accumulates o into s.
-func (s *NodeStats) add(o NodeStats) {
-	s.Faults += o.Faults
-	s.Fetches += o.Fetches
-	s.CacheHits += o.CacheHits
-	s.InvalidatedPages += o.InvalidatedPages
-	s.FlushMessages += o.FlushMessages
-	s.FlushBytes += o.FlushBytes
-	s.BatchedFlushes += o.BatchedFlushes
-	s.MonitorAcquires += o.MonitorAcquires
-	s.RemoteAcquires += o.RemoteAcquires
-	s.BarrierWaitCycles += o.BarrierWaitCycles
-	s.Migrations += o.Migrations
-	s.LocalityChecks += o.LocalityChecks
-	s.MprotectCalls += o.MprotectCalls
+// addNodeStats sums two counter snapshots. Value semantics on purpose:
+// the engine's live counters are all-atomic, and summing through a
+// pointer receiver would be a plain access to atomically-updated
+// memory. Snapshots (from loadNodeStats) are private copies and safe
+// to read plainly.
+func addNodeStats(a, b NodeStats) NodeStats {
+	a.Faults += b.Faults
+	a.Fetches += b.Fetches
+	a.CacheHits += b.CacheHits
+	a.InvalidatedPages += b.InvalidatedPages
+	a.FlushMessages += b.FlushMessages
+	a.FlushBytes += b.FlushBytes
+	a.BatchedFlushes += b.BatchedFlushes
+	a.MonitorAcquires += b.MonitorAcquires
+	a.RemoteAcquires += b.RemoteAcquires
+	a.BarrierWaitCycles += b.BarrierWaitCycles
+	a.Migrations += b.Migrations
+	a.LocalityChecks += b.LocalityChecks
+	a.MprotectCalls += b.MprotectCalls
+	return a
 }
 
 // nodeStatNames is the canonical counter order, matching the JSON tags.
@@ -151,7 +156,7 @@ func (e *Engine) RunStats() RunStats {
 	}
 	for i := range e.runStats {
 		rs.PerNode[i] = loadNodeStats(&e.runStats[i])
-		rs.Total.add(rs.PerNode[i])
+		rs.Total = addNodeStats(rs.Total, rs.PerNode[i])
 	}
 	return rs
 }

@@ -90,7 +90,7 @@ func TestRunStatsCountsEngineEvents(t *testing.T) {
 	// Total is the per-node sum.
 	var want NodeStats
 	for _, ns := range rs.PerNode {
-		want.add(ns)
+		want = addNodeStats(want, ns)
 	}
 	if rs.Total != want {
 		t.Errorf("Total %+v != sum %+v", rs.Total, want)

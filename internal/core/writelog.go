@@ -52,25 +52,27 @@ type pageBuf struct {
 // transfers to the taken spans at each flush.
 type WriteLog struct {
 	mu      sync.Mutex
-	pages   map[pages.PageID]*pageBuf
-	order   []*pageBuf // buffers touched this epoch, in first-touch order
-	arena   []byte     // payload bytes of the current epoch
-	epoch   uint64
-	last    *pageBuf // most recently written buffer (fast path)
-	records int
-	bytes   int
+	pages   map[pages.PageID]*pageBuf // guarded by mu
+	order   []*pageBuf                // buffers touched this epoch, in first-touch order (guarded by mu)
+	arena   []byte                    // payload bytes of the current epoch (guarded by mu)
+	epoch   uint64                    // guarded by mu
+	last    *pageBuf                  // most recently written buffer, the fast path (guarded by mu)
+	records int                       // guarded by mu
+	bytes   int                       // guarded by mu
 }
 
 // Record logs a write of data at off within page p. Consecutive writes
 // extending the previous record (the common pattern of a loop filling an
 // array) are coalesced in place. The common case — another write to the
 // same page as the last one — touches no map and allocates nothing.
+//
+//hyperion:hotpath
 func (w *WriteLog) Record(p pages.PageID, off int, data []byte) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	pb := w.last
 	if pb == nil || pb.page != p {
-		pb = w.buf(p)
+		pb = w.bufLocked(p)
 		w.last = pb
 	}
 	if n := len(pb.recs); n > 0 {
@@ -91,10 +93,10 @@ func (w *WriteLog) Record(p pages.PageID, off int, data []byte) {
 	w.bytes += len(data)
 }
 
-// buf returns p's record buffer for the current epoch, creating it on
-// first ever touch and rewinding it lazily when it carries records of a
-// flushed epoch.
-func (w *WriteLog) buf(p pages.PageID) *pageBuf {
+// bufLocked returns p's record buffer for the current epoch, creating
+// it on first ever touch and rewinding it lazily when it carries
+// records of a flushed epoch. Caller holds w.mu.
+func (w *WriteLog) bufLocked(p pages.PageID) *pageBuf {
 	if w.pages == nil {
 		w.pages = make(map[pages.PageID]*pageBuf)
 	}

@@ -23,6 +23,8 @@ type waiter struct {
 // Wait atomically releases the monitor and parks the calling thread until
 // Notify or NotifyAll wakes it, then re-acquires the monitor. The caller
 // must hold the monitor, as in Java.
+//
+//hyperion:allow(lockguard) caller holds the monitor (Java Object.wait contract); mu is released mid-function by design
 func (m *Monitor) Wait(t *threads.Thread) {
 	eng := m.heap.eng
 	net := eng.Cluster().Network()
@@ -58,10 +60,16 @@ func (m *Monitor) Notify(t *threads.Thread) {
 }
 
 // NotifyAll wakes every waiting thread. The caller must hold the monitor.
+//
+//hyperion:allow(lockguard) caller holds the monitor (Java Object.notifyAll contract)
 func (m *Monitor) NotifyAll(t *threads.Thread) {
 	m.notify(t, len(m.waiters))
 }
 
+// notify dequeues and wakes the n longest-waiting threads. The caller
+// must hold the monitor.
+//
+//hyperion:allow(lockguard) caller holds the monitor (reached only from Notify/NotifyAll, same contract)
 func (m *Monitor) notify(t *threads.Thread, n int) {
 	if n > len(m.waiters) {
 		n = len(m.waiters)
@@ -87,4 +95,6 @@ func (m *Monitor) notify(t *threads.Thread, n int) {
 
 // WaitingCount reports the number of parked waiters, for tests and
 // diagnostics. The caller must hold the monitor.
+//
+//hyperion:allow(lockguard) caller holds the monitor; diagnostic read under the Enter/Exit bracket
 func (m *Monitor) WaitingCount() int { return len(m.waiters) }

@@ -80,6 +80,8 @@ func (m *Monitor) Enter(t *threads.Thread) {
 // Exit releases the monitor: the JMM release actions (transmit local
 // modifications to main memory, synchronously) and then the lock release,
 // which reaches the home node after one message when released remotely.
+//
+//hyperion:allow(lockguard) mu was locked by the matching Enter; Enter/Exit bracket the critical section across calls
 func (m *Monitor) Exit(t *threads.Thread) {
 	eng := m.heap.eng
 	net := eng.Cluster().Network()

@@ -79,10 +79,10 @@ type nodeRange struct {
 // belongs to one run: attach a fresh one per repeat.
 type Profiler struct {
 	mu       sync.Mutex
-	nodes    int
-	pageSize int
-	homeOf   func(pages.PageID) int
-	pages    map[pages.PageID]*pageState
+	nodes    int                         // guarded by mu
+	pageSize int                         // guarded by mu
+	homeOf   func(pages.PageID) int      // guarded by mu
+	pages    map[pages.PageID]*pageState // guarded by mu
 }
 
 // New returns an empty profiler. Geometry arrives via Configure when
@@ -111,7 +111,9 @@ func (p *Profiler) Configure(nodes, pageSize int, homeOf func(pages.PageID) int)
 	return nil
 }
 
-func (p *Profiler) state(pg pages.PageID) *pageState {
+// stateLocked returns pg's accumulator, creating it on first touch.
+// Caller holds p.mu.
+func (p *Profiler) stateLocked(pg pages.PageID) *pageState {
 	ps := p.pages[pg]
 	if ps == nil {
 		ps = &pageState{}
@@ -121,9 +123,11 @@ func (p *Profiler) state(pg pages.PageID) *pageState {
 }
 
 // NoteFault records a page fault taken by node on pg.
+//
+//hyperion:hotpath
 func (p *Profiler) NoteFault(node int, pg pages.PageID) {
 	p.mu.Lock()
-	ps := p.state(pg)
+	ps := p.stateLocked(pg)
 	ps.faults++
 	ps.readers |= 1 << uint(node)
 	p.mu.Unlock()
@@ -132,9 +136,11 @@ func (p *Profiler) NoteFault(node int, pg pages.PageID) {
 // NoteFetch records node pulling pg from its home (initial load or
 // refresh). The node joins the page's reader set: a fetch is the DSM
 // evidence that the node consumed the page.
+//
+//hyperion:hotpath
 func (p *Profiler) NoteFetch(node int, pg pages.PageID) {
 	p.mu.Lock()
-	ps := p.state(pg)
+	ps := p.stateLocked(pg)
 	ps.fetches++
 	ps.readers |= 1 << uint(node)
 	p.mu.Unlock()
@@ -144,9 +150,11 @@ func (p *Profiler) NoteFetch(node int, pg pages.PageID) {
 // by coherence action (acquire-time invalidation) or eviction. The
 // node is accepted for hook symmetry; invalidations are counted per
 // page, not per node.
+//
+//hyperion:hotpath
 func (p *Profiler) NoteInvalidate(_ int, pg pages.PageID) {
 	p.mu.Lock()
-	ps := p.state(pg)
+	ps := p.stateLocked(pg)
 	ps.invalidations++
 	p.mu.Unlock()
 }
@@ -155,12 +163,14 @@ func (p *Profiler) NoteInvalidate(_ int, pg pages.PageID) {
 // of pg starting at byte offset off. The node joins the writer set and
 // its per-node envelope [lo,hi) widens to cover the span; envelopes
 // are what the false-sharing detector compares.
+//
+//hyperion:hotpath
 func (p *Profiler) NoteWrite(node int, pg pages.PageID, off, n int) {
 	if n <= 0 {
 		return
 	}
 	p.mu.Lock()
-	ps := p.state(pg)
+	ps := p.stateLocked(pg)
 	ps.diffBytes += int64(n)
 	ps.writers |= 1 << uint(node)
 	found := false

@@ -109,21 +109,21 @@ type Store struct {
 	dir  string
 	opts Options
 
-	mu      sync.RWMutex // guards index, active*, size, nextSeg, stale, torn, closed
-	index   map[string]entry
-	active  int      // active segment id; 0 = none yet
-	activeF *os.File // active segment handle (also registered in files)
-	size    int64    // bytes appended to the active segment
-	nextSeg int      // next segment id to allocate
-	stale   int
-	torn    int
-	closed  bool
+	mu      sync.RWMutex
+	index   map[string]entry // guarded by mu
+	active  int              // active segment id; 0 = none yet (guarded by mu)
+	activeF *os.File         // active segment handle, also in files (guarded by mu)
+	size    int64            // bytes appended to the active segment (guarded by mu)
+	nextSeg int              // next segment id to allocate (guarded by mu)
+	stale   int              // guarded by mu
+	torn    int              // guarded by mu
+	closed  bool             // guarded by mu
 
 	// files caches open read handles, the active segment included. It
 	// has its own lock so Get can lazily open a segment while holding
 	// only s.mu.RLock.
 	filesMu sync.Mutex
-	files   map[int]*os.File
+	files   map[int]*os.File // guarded by filesMu
 
 	recordsRead atomic.Int64
 	bytesRead   atomic.Int64
@@ -418,6 +418,8 @@ func segmentID(name string) (int, error) {
 // scanSegment replays one segment into the index. The first invalid
 // record ends the scan: everything after it is a torn tail (counted,
 // unreachable, reclaimed by compaction).
+//
+//hyperion:allow(lockguard) called only from Open, before the Store is returned to any other goroutine
 func (s *Store) scanSegment(id int) error {
 	f, err := os.Open(s.segmentPath(id))
 	if err != nil {

@@ -70,14 +70,14 @@ type Job struct {
 	submitted time.Time
 
 	mu       sync.Mutex
-	state    State
-	started  time.Time
-	finished time.Time
-	results  []*sweep.PointResult // index-aligned with points; nil = pending
-	statuses []string             // index-aligned; "" = pending
-	counts   Counts
-	events   []Event
-	update   chan struct{} // closed and replaced on every append
+	state    State                // guarded by mu
+	started  time.Time            // guarded by mu
+	finished time.Time            // guarded by mu
+	results  []*sweep.PointResult // index-aligned with points; nil = pending (guarded by mu)
+	statuses []string             // index-aligned; "" = pending (guarded by mu)
+	counts   Counts               // guarded by mu
+	events   []Event              // guarded by mu
+	update   chan struct{}        // closed and replaced on every append (guarded by mu)
 }
 
 // Counts is a job's point accounting.

@@ -53,7 +53,7 @@ type metrics struct {
 	pagestatsBytes stats.Counter
 
 	latencyMu    sync.Mutex
-	pointLatency map[string]*stats.Histogram // by protocol
+	pointLatency map[string]*stats.Histogram // by protocol (guarded by latencyMu)
 }
 
 func newMetrics() *metrics {

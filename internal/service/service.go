@@ -98,10 +98,10 @@ type Server struct {
 	startAt time.Time
 
 	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string // submission order
-	seq     int
-	stopped bool
+	jobs    map[string]*Job // guarded by mu
+	order   []string        // submission order (guarded by mu)
+	seq     int             // guarded by mu
+	stopped bool            // guarded by mu
 
 	queue       chan *Job
 	stop        chan struct{}
@@ -110,7 +110,7 @@ type Server struct {
 	drainedOnce sync.Once
 
 	flightMu sync.Mutex
-	flights  map[string]*flight // point cache-key -> in-flight execution
+	flights  map[string]*flight // point cache-key -> in-flight execution (guarded by flightMu)
 }
 
 // flight is one in-flight point execution that followers can wait on.
@@ -583,6 +583,8 @@ func (s *Server) saveState() error {
 
 // loadState restores persisted jobs. A spec that no longer validates
 // (registry drift) fails the load rather than silently dropping work.
+//
+//hyperion:allow(lockguard) called only from New, before the Server is returned or its runners started
 func (s *Server) loadState() ([]*Job, error) {
 	if s.cfg.StatePath == "" {
 		return nil, nil

@@ -85,10 +85,13 @@ func (e Event) String() string {
 // overwrites the oldest events and counts them in Dropped, so the
 // buffer always holds the newest window of the run.
 type Buffer struct {
-	mu   sync.Mutex
-	buf  []Event // ring storage, fixed capacity
-	head int     // index of the oldest live event
-	n    int     // live events, <= len(buf)
+	mu sync.Mutex
+	// buf is the ring storage. The slice header is fixed at NewBuffer
+	// and never reassigned (so len(b.buf) is safe anywhere); the
+	// elements are guarded by mu.
+	buf  []Event
+	head int // index of the oldest live event (guarded by mu)
+	n    int // live events, <= len(buf) (guarded by mu)
 
 	dropped atomic.Int64
 }
@@ -103,6 +106,8 @@ func NewBuffer(capacity int) *Buffer {
 
 // Record appends an event, overwriting the oldest one when the ring is
 // full.
+//
+//hyperion:hotpath
 func (b *Buffer) Record(e Event) {
 	b.mu.Lock()
 	if b.n < len(b.buf) {
